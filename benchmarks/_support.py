@@ -1,0 +1,40 @@
+"""Shared helpers for the benchmark harness (imported by the bench modules)."""
+
+from __future__ import annotations
+
+from repro.algorithms import get_algorithm
+from repro.dse.explorer import DesignSpaceExplorer
+from repro.ir.operators import DataFormat
+
+#: Frame size used throughout Section 4 of the paper.
+FRAME = (1024, 768)
+IGF_ITERATIONS = 10
+CHAMBOLLE_ITERATIONS = 11
+
+
+def make_explorer(algorithm: str) -> DesignSpaceExplorer:
+    """Build the full-space explorer used by the Section 4 experiments."""
+    spec = get_algorithm(algorithm)
+    return DesignSpaceExplorer(
+        spec.kernel(),
+        data_format=DataFormat.FIXED16,
+        window_sides=(1, 2, 3, 4, 5, 6, 7, 8, 9),
+        max_depth=5,
+        max_cones_per_depth=16,
+        synthesize_all=True,
+    )
+
+
+def print_banner(title: str) -> None:
+    print()
+    print("=" * 78)
+    print(title)
+    print("=" * 78)
+
+
+def best_fps(exploration, window: int, depth: int) -> float:
+    """Best device-fitting frame rate for one (window, primary depth) pair."""
+    points = [p for p in exploration.design_points
+              if p.architecture.window_side == window
+              and p.primary_depth == depth and p.fits_device]
+    return max((p.frames_per_second for p in points), default=0.0)

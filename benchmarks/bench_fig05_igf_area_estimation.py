@@ -1,0 +1,80 @@
+"""Figure 5 — IGF area estimation: actual vs Equation-1 estimate.
+
+Paper series: slice LUTs vs output-window area, one curve per cone depth
+(1-5 iterations), estimated from two reference syntheses per depth.  Paper
+accuracy: maximum error 6.58 %, average error 2.93 %.  The benchmark times
+the calibration + estimation step (the thing the paper claims is cheap) and
+prints the regenerated series plus the error statistics.
+"""
+
+import pytest
+
+from repro.estimation.area_model import CalibrationPoint, RegisterAreaModel
+from repro.utils.tables import Table
+
+from _support import IGF_ITERATIONS, print_banner
+
+
+def _estimate_all_depths(exploration, library):
+    """Re-run Equation 1 for every depth family from two syntheses each."""
+    estimates = {}
+    for depth in sorted({d for _, d in exploration.characterizations}):
+        family = sorted((w for w, dd in exploration.characterizations if dd == depth))
+        registers = {w * w: exploration.characterization(w, depth).register_count
+                     for w in family}
+        calibration = [
+            CalibrationPoint(w * w,
+                             exploration.characterization(w, depth).register_count,
+                             exploration.characterization(w, depth).actual_area_luts)
+            for w in family[:2]
+        ]
+        model = RegisterAreaModel(library)
+        model.calibrate(calibration)
+        estimates[depth] = {e.key: e.estimated_area_luts
+                            for e in model.estimate_series(registers)}
+    return estimates
+
+
+@pytest.mark.benchmark(group="fig05")
+def test_fig05_igf_area_estimation(benchmark, igf_exploration, igf_explorer):
+    exploration = igf_exploration
+
+    estimates = benchmark.pedantic(
+        _estimate_all_depths, args=(exploration, igf_explorer.library),
+        rounds=3, iterations=1)
+
+    print_banner("Figure 5 — IGF area estimation (slice LUTs vs output window area)")
+    depths = sorted({d for _, d in exploration.characterizations})
+    table = Table(["window area"]
+                  + [f"d{d} actual" for d in depths]
+                  + [f"d{d} estimated" for d in depths])
+    windows = sorted({w for w, _ in exploration.characterizations})
+    for window in windows:
+        row = [window * window]
+        for depth in depths:
+            row.append(round(exploration.characterization(window, depth).actual_area_luts))
+        for depth in depths:
+            row.append(round(estimates[depth][window * window]))
+        table.add_row(row)
+    print(table)
+
+    errors = []
+    for depth, validation in sorted(exploration.area_validations.items()):
+        print(f"depth {depth}: max error {validation.max_error_percent:.2f}%, "
+              f"mean error {validation.mean_error_percent:.2f}%")
+        errors.extend(validation.errors_percent)
+    max_error = max(errors)
+    mean_error = sum(errors) / len(errors)
+    print(f"overall: max {max_error:.2f}% (paper 6.58%), "
+          f"mean {mean_error:.2f}% (paper 2.93%)")
+    print(f"syntheses needed for the estimate: 2 per depth "
+          f"({2 * len(depths)} of {len(exploration.characterizations)} cones)")
+
+    # shape checks: single-digit-ish accuracy, low mean error
+    assert max_error < 12.0
+    assert mean_error < 5.0
+    # area grows with window area and with depth
+    for depth in depths:
+        series = [exploration.characterization(w, depth).actual_area_luts
+                  for w in windows]
+        assert series == sorted(series)

@@ -1,0 +1,37 @@
+"""Figure 6 — IGF Pareto curve (time per frame vs kLUTs) for a 1024x768 frame.
+
+The benchmark times the Pareto-set extraction over the full design-point set
+(the paper: "an exhaustive search that typically requires the evaluation of a
+few hundreds of solutions") and prints the regenerated curve.
+"""
+
+import pytest
+
+from repro.dse.pareto import is_dominated, pareto_front
+from repro.flow.report import pareto_table
+
+from _support import print_banner
+
+
+@pytest.mark.benchmark(group="fig06")
+def test_fig06_igf_pareto_curve(benchmark, igf_exploration):
+    exploration = igf_exploration
+
+    front = benchmark.pedantic(pareto_front, args=(exploration.design_points,),
+                               rounds=5, iterations=1)
+
+    print_banner("Figure 6 — IGF Pareto curve (1024x768)")
+    print(f"design points evaluated: {len(exploration.design_points)}")
+    print(f"Pareto-optimal points  : {len(front)}")
+    print(pareto_table(front))
+
+    # shape checks: a real trade-off curve spanning orders of magnitude
+    assert len(exploration.design_points) >= 300
+    assert 5 <= len(front) <= 100
+    areas = [p.area_luts for p in front]
+    times = [p.seconds_per_frame for p in front]
+    assert areas == sorted(areas)
+    assert times == sorted(times, reverse=True)
+    assert times[0] / times[-1] > 50          # slowest vs fastest
+    for a in front:
+        assert not any(is_dominated(a, b) for b in front if b is not a)

@@ -1,0 +1,59 @@
+"""Figure 7 — IGF throughput vs output-window area on the Virtex-6 XC6VLX760.
+
+Paper claims reproduced in shape: throughput grows (non-monotonically) with
+the output window area; cone depths that divide the iteration count (1, 2, 5
+for 10 iterations) outperform the ones that do not (3, 4), because the
+remainder iterations need an additional dedicated cone; the best
+configurations reach the order of 100 fps on a 1024x768 frame.
+"""
+
+import pytest
+
+from repro.flow.report import throughput_table
+from _support import print_banner
+
+
+def best_fps(exploration, window, depth):
+    points = [p for p in exploration.design_points
+              if p.architecture.window_side == window
+              and p.primary_depth == depth and p.fits_device]
+    return max((p.frames_per_second for p in points), default=0.0)
+
+
+@pytest.mark.benchmark(group="fig07")
+def test_fig07_igf_throughput(benchmark, igf_exploration, igf_explorer):
+    exploration = igf_exploration
+    depths = (1, 2, 3, 4, 5)
+    windows = tuple(sorted({p.architecture.window_side
+                            for p in exploration.design_points}))
+
+    def sweep():
+        return {(w, d): best_fps(exploration, w, d)
+                for w in windows for d in depths}
+
+    fps = benchmark.pedantic(sweep, rounds=3, iterations=1)
+
+    print_banner("Figure 7 — IGF throughput (fps) vs output window area, "
+                 "XC6VLX760, 10 iterations, 1024x768")
+    print(throughput_table(exploration, depths=depths))
+
+    peak = max(fps.values())
+    print(f"peak throughput: {peak:.1f} fps (paper: ~110 fps)")
+
+    divisor_best = max(fps[(9, d)] for d in (1, 2, 5))
+    non_divisor_best = max(fps[(9, d)] for d in (3, 4))
+    print(f"window 81: best divisor depth {divisor_best:.1f} fps, "
+          f"best non-divisor depth {non_divisor_best:.1f} fps")
+
+    # shape checks
+    assert 40.0 < peak < 400.0
+    # throughput grows with the window area for the shallow depths
+    for depth in (1, 2):
+        assert fps[(9, depth)] > fps[(3, depth)] > fps[(1, depth)]
+    # divisors of the iteration count beat non-divisors (Figure 7 discussion)
+    assert divisor_best > non_divisor_best
+    # the trend is not monotone everywhere (the paper points this out)
+    non_monotone = any(fps[(windows[i + 1], d)] < fps[(windows[i], d)]
+                       for d in depths for i in range(len(windows) - 1)
+                       if fps[(windows[i], d)] > 0)
+    assert non_monotone

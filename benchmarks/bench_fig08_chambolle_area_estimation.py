@@ -1,0 +1,75 @@
+"""Figure 8 — Chambolle area estimation: actual vs Equation-1 estimate.
+
+Paper accuracy: maximum error 6.36 %, average error 2.19 %.  Same structure
+as Figure 5, on the algorithm with the more complex data dependencies
+(two-component dual field, division and square root in the datapath).
+"""
+
+import pytest
+
+from repro.estimation.area_model import CalibrationPoint, RegisterAreaModel
+from repro.utils.tables import Table
+
+from _support import print_banner
+
+
+def _estimate_all_depths(exploration, library):
+    estimates = {}
+    for depth in sorted({d for _, d in exploration.characterizations}):
+        family = sorted((w for w, dd in exploration.characterizations if dd == depth))
+        registers = {w * w: exploration.characterization(w, depth).register_count
+                     for w in family}
+        calibration = [
+            CalibrationPoint(w * w,
+                             exploration.characterization(w, depth).register_count,
+                             exploration.characterization(w, depth).actual_area_luts)
+            for w in family[:2]
+        ]
+        model = RegisterAreaModel(library)
+        model.calibrate(calibration)
+        estimates[depth] = {e.key: e.estimated_area_luts
+                            for e in model.estimate_series(registers)}
+    return estimates
+
+
+@pytest.mark.benchmark(group="fig08")
+def test_fig08_chambolle_area_estimation(benchmark, chambolle_exploration,
+                                         chambolle_explorer):
+    exploration = chambolle_exploration
+
+    estimates = benchmark.pedantic(
+        _estimate_all_depths, args=(exploration, chambolle_explorer.library),
+        rounds=3, iterations=1)
+
+    print_banner("Figure 8 — Chambolle area estimation "
+                 "(slice LUTs vs output window area)")
+    depths = sorted({d for _, d in exploration.characterizations})
+    windows = sorted({w for w, _ in exploration.characterizations})
+    table = Table(["window area"]
+                  + [f"d{d} actual" for d in depths]
+                  + [f"d{d} estimated" for d in depths])
+    for window in windows:
+        row = [window * window]
+        for depth in depths:
+            row.append(round(exploration.characterization(window, depth).actual_area_luts))
+        for depth in depths:
+            row.append(round(estimates[depth][window * window]))
+        table.add_row(row)
+    print(table)
+
+    errors = []
+    for depth, validation in sorted(exploration.area_validations.items()):
+        print(f"depth {depth}: max error {validation.max_error_percent:.2f}%, "
+              f"mean error {validation.mean_error_percent:.2f}%")
+        errors.extend(validation.errors_percent)
+    max_error = max(errors)
+    mean_error = sum(errors) / len(errors)
+    print(f"overall: max {max_error:.2f}% (paper 6.36%), "
+          f"mean {mean_error:.2f}% (paper 2.19%)")
+
+    # shape checks: errors stay small even for the div/sqrt-heavy datapath
+    assert max_error < 12.0
+    assert mean_error < 5.0
+    # Chambolle cones are larger than IGF cones of the same shape (more
+    # state components and costlier operators), reflected in absolute areas
+    assert exploration.characterization(9, 5).actual_area_luts > 200_000

@@ -1,0 +1,34 @@
+"""Figure 9 — Chambolle Pareto curve (time per frame vs kLUTs), 1024x768."""
+
+import pytest
+
+from repro.dse.pareto import is_dominated, pareto_front
+from repro.flow.report import pareto_table
+
+from _support import print_banner
+
+
+@pytest.mark.benchmark(group="fig09")
+def test_fig09_chambolle_pareto_curve(benchmark, chambolle_exploration):
+    exploration = chambolle_exploration
+
+    front = benchmark.pedantic(pareto_front, args=(exploration.design_points,),
+                               rounds=5, iterations=1)
+
+    print_banner("Figure 9 — Chambolle Pareto curve (1024x768)")
+    print(f"design points evaluated: {len(exploration.design_points)}")
+    print(f"Pareto-optimal points  : {len(front)}")
+    print(pareto_table(front))
+
+    assert len(exploration.design_points) >= 300
+    assert 5 <= len(front) <= 100
+    areas = [p.area_luts for p in front]
+    times = [p.seconds_per_frame for p in front]
+    assert areas == sorted(areas)
+    assert times == sorted(times, reverse=True)
+    for a in front:
+        assert not any(is_dominated(a, b) for b in front if b is not a)
+    # Chambolle needs more area than the IGF for the same time-per-frame
+    # band, so its curve sits higher/right: the cheapest Chambolle point is
+    # larger than a few kLUTs.
+    assert min(areas) > 1000

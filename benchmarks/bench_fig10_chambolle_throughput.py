@@ -1,0 +1,57 @@
+"""Figure 10 — Chambolle throughput vs output-window area on the Virtex-6.
+
+Key qualitative claim of the paper: the best solution is *not* the one with
+the largest output window (9x9) but the 8x8 one, because two instances of the
+8x8 cone fit on the device where only one 9x9 instance does.
+"""
+
+import pytest
+
+from repro.flow.report import throughput_table
+
+from _support import best_fps, print_banner
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_chambolle_throughput(benchmark, chambolle_exploration):
+    exploration = chambolle_exploration
+    depths = (1, 2, 3, 4, 5)
+    windows = tuple(sorted({p.architecture.window_side
+                            for p in exploration.design_points}))
+
+    def sweep():
+        return {(w, d): best_fps(exploration, w, d)
+                for w in windows for d in depths}
+
+    fps = benchmark.pedantic(sweep, rounds=3, iterations=1)
+
+    print_banner("Figure 10 — Chambolle throughput (fps) vs output window area, "
+                 "XC6VLX760, 11 iterations, 1024x768")
+    print(throughput_table(exploration, depths=depths))
+
+    best_8x8 = max(fps[(8, d)] for d in depths)
+    best_9x9 = max(fps[(9, d)] for d in depths)
+    peak = max(fps.values())
+    print(f"peak throughput  : {peak:.2f} fps (paper: ~24 fps best on device)")
+    print(f"best 8x8 solution: {best_8x8:.2f} fps   best 9x9 solution: {best_9x9:.2f} fps")
+    count_8 = max((p.cone_count for p in exploration.design_points
+                   if p.architecture.window_side == 8 and p.fits_device),
+                  default=0)
+    count_9 = max((p.cone_count for p in exploration.design_points
+                   if p.architecture.window_side == 9 and p.fits_device),
+                  default=0)
+    print(f"cone instances that fit: {count_8} (8x8) vs {count_9} (9x9)")
+
+    # shape checks
+    assert 5.0 < peak < 80.0
+    # The paper's qualitative point for this figure: the largest window is not
+    # automatically the best, because instance count on the device matters.
+    # More 8x8 instances fit than 9x9 instances, and for at least one depth the
+    # 8x8 solution matches or beats the 9x9 one.  (With the synthetic operator
+    # cost model the overall best lands within a few percent of either window;
+    # see EXPERIMENTS.md for the discussion.)
+    assert count_8 > count_9
+    assert any(fps[(8, d)] >= fps[(9, d)] for d in depths if fps[(9, d)] > 0)
+    assert abs(best_8x8 - best_9x9) / best_9x9 < 0.25
+    # throughput grows with the window area for shallow depths
+    assert fps[(8, 1)] > fps[(3, 1)] > fps[(1, 1)]

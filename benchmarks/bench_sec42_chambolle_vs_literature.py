@@ -1,0 +1,61 @@
+"""Section 4.2 (text) — Chambolle vs the hand-optimised design of Akin et al. [19].
+
+Paper comparison: the manual architecture (several months of design work)
+reaches 38 fps at 1024x768 and 99 fps at 512x512; the automatically generated
+cone architectures reach 24 fps and 72 fps respectively — i.e. the same order
+of magnitude, with no manual effort.  The reproduction checks that ordering
+and ratio band.
+"""
+
+import pytest
+
+from repro.baselines.manual_designs import literature_design
+from repro.utils.tables import Table
+
+from _support import CHAMBOLLE_ITERATIONS, print_banner
+
+
+@pytest.mark.benchmark(group="sec42")
+def test_sec42_chambolle_vs_literature(benchmark, chambolle_explorer,
+                                       chambolle_exploration):
+    manual = literature_design("akin_chambolle")
+    published = literature_design("paper_cone_chambolle")
+
+    # 1024x768 comes from the shared session exploration; 512x512 reuses the
+    # cached cone characterisations, so the benchmark times only the
+    # architecture-space evaluation for the second frame size.
+    def explore_small():
+        return chambolle_explorer.explore(CHAMBOLLE_ITERATIONS, 512, 512)
+
+    small = benchmark.pedantic(explore_small, rounds=1, iterations=1)
+    large = chambolle_exploration
+
+    best_large = large.best_fitting_point()
+    best_small = small.best_fitting_point()
+
+    print_banner("Section 4.2 — Chambolle vs the manual design of Akin et al. [19]")
+    table = Table(["implementation", "frame", "fps"])
+    table.add_row(["Akin et al. [19] (manual, months of work)", "1024x768",
+                   manual.fps((1024, 768))])
+    table.add_row(["Akin et al. [19] (manual, months of work)", "512x512",
+                   manual.fps((512, 512))])
+    table.add_row(["cone flow (this repo, automatic)", "1024x768",
+                   round(best_large.frames_per_second, 2)])
+    table.add_row(["cone flow (this repo, automatic)", "512x512",
+                   round(best_small.frames_per_second, 2)])
+    table.add_row(["paper's flow (published)", "1024x768",
+                   published.fps((1024, 768))])
+    table.add_row(["paper's flow (published)", "512x512",
+                   published.fps((512, 512))])
+    print(table)
+
+    # shape checks: same order of magnitude as the manual design, and the
+    # smaller frame is proportionally faster.
+    ratio_large = best_large.frames_per_second / manual.fps((1024, 768))
+    ratio_small = best_small.frames_per_second / manual.fps((512, 512))
+    assert 0.2 < ratio_large < 2.0
+    assert 0.2 < ratio_small < 2.0
+    assert best_small.frames_per_second > 2.0 * best_large.frames_per_second
+    # and the real-time threshold discussion: the automatic design is within
+    # reach of 30 fps at 1024x768 (the paper reports 24 fps)
+    assert best_large.frames_per_second > 10.0

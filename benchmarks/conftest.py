@@ -1,0 +1,34 @@
+"""Session-scoped fixtures for the benchmark harness.
+
+The expensive artefact — the full cone characterisation and design-space
+exploration of each case study — is computed once per session and shared by
+the figure benches, which then time the stage the figure is actually about
+(area estimation, Pareto extraction, throughput evaluation, ...) and print
+the series the figure plots.  See DESIGN.md for the experiment index.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _support import CHAMBOLLE_ITERATIONS, FRAME, IGF_ITERATIONS, make_explorer
+
+
+@pytest.fixture(scope="session")
+def igf_explorer():
+    return make_explorer("blur")
+
+
+@pytest.fixture(scope="session")
+def igf_exploration(igf_explorer):
+    return igf_explorer.explore(IGF_ITERATIONS, *FRAME)
+
+
+@pytest.fixture(scope="session")
+def chambolle_explorer():
+    return make_explorer("chamb")
+
+
+@pytest.fixture(scope="session")
+def chambolle_exploration(chambolle_explorer):
+    return chambolle_explorer.explore(CHAMBOLLE_ITERATIONS, *FRAME)

@@ -1,0 +1,102 @@
+"""repro — reproduction of the DAC 2013 cone-based HLS flow for iterative
+stencil loops (ISLs) on FPGAs (Nacci, Rana, Bruschi, Sciuto, Beretta, Atienza).
+
+The package implements the full flow of the paper:
+
+* a C-subset / Python-DSL frontend producing a stencil kernel IR
+  (:mod:`repro.frontend`);
+* dependency analysis through symbolic execution with register reuse
+  (:mod:`repro.symbolic`);
+* a dataflow IR, VHDL generation, and a deterministic FPGA synthesis
+  simulator standing in for the vendor tools (:mod:`repro.ir`,
+  :mod:`repro.codegen`, :mod:`repro.synth`);
+* the Equation-1 area model, the throughput model, and the design-space
+  exploration with Pareto extraction (:mod:`repro.estimation`,
+  :mod:`repro.dse`);
+* the cone-architecture template (:mod:`repro.architecture`), functional and
+  cycle-level simulators plus the frame-buffer baseline
+  (:mod:`repro.simulation`), the commercial-HLS and literature baselines
+  (:mod:`repro.baselines`), the case-study algorithms
+  (:mod:`repro.algorithms`), and the end-to-end driver (:mod:`repro.flow`).
+
+Quick start::
+
+    from repro import HlsFlow, FlowOptions, get_algorithm
+
+    spec = get_algorithm("blur")                 # iterative Gaussian filter
+    flow = HlsFlow(spec.kernel(),
+                   FlowOptions(iterations=spec.default_iterations))
+    result = flow.run()
+    for point in result.pareto:
+        print(point.summary())
+"""
+
+from repro.frontend import (
+    StencilKernel,
+    stencil_kernel,
+    KernelBuilder,
+    parse_c_source,
+    extract_kernel_from_c,
+    validate_kernel,
+)
+from repro.symbolic import ConeExpressionBuilder
+from repro.architecture import ConeShape, ConeArchitecture
+from repro.synth import (
+    FpgaDevice,
+    Synthesizer,
+    VIRTEX6_XC6VLX760,
+    VIRTEX2P_XC2VP30,
+    device_by_name,
+)
+from repro.estimation import RegisterAreaModel, ThroughputModel
+from repro.dse import DesignSpaceExplorer, DesignPoint, pareto_front, DseConstraints
+from repro.simulation import (
+    Frame,
+    FrameSet,
+    GoldenExecutor,
+    FunctionalConeSimulator,
+    FrameBufferArchitecture,
+)
+from repro.baselines import CommercialHlsTool, HlsConfiguration, literature_design
+from repro.algorithms import ALGORITHMS, get_algorithm, list_algorithms
+from repro.flow import HlsFlow, FlowOptions, FlowResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "StencilKernel",
+    "stencil_kernel",
+    "KernelBuilder",
+    "parse_c_source",
+    "extract_kernel_from_c",
+    "validate_kernel",
+    "ConeExpressionBuilder",
+    "ConeShape",
+    "ConeArchitecture",
+    "FpgaDevice",
+    "Synthesizer",
+    "VIRTEX6_XC6VLX760",
+    "VIRTEX2P_XC2VP30",
+    "device_by_name",
+    "RegisterAreaModel",
+    "ThroughputModel",
+    "DesignSpaceExplorer",
+    "DesignPoint",
+    "pareto_front",
+    "DseConstraints",
+    "Frame",
+    "FrameSet",
+    "GoldenExecutor",
+    "FunctionalConeSimulator",
+    "FrameBufferArchitecture",
+    "CommercialHlsTool",
+    "HlsConfiguration",
+    "literature_design",
+    "ALGORITHMS",
+    "get_algorithm",
+    "list_algorithms",
+    "HlsFlow",
+    "FlowOptions",
+    "FlowResult",
+    "__version__",
+]

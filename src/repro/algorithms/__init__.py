@@ -1,0 +1,42 @@
+"""Case-study ISL algorithms.
+
+Every algorithm is available in two equivalent forms — a Python DSL kernel
+and a C source string parsed by the frontend — plus the metadata the flow and
+the benchmarks need (default iteration count, typical frame sizes, the paper
+reference it reproduces).
+"""
+
+from repro.algorithms.registry import (
+    AlgorithmSpec,
+    ALGORITHMS,
+    get_algorithm,
+    list_algorithms,
+)
+from repro.algorithms.gaussian import (
+    iterative_gaussian_filter_kernel,
+    IGF_C_SOURCE,
+)
+from repro.algorithms.chambolle import chambolle_kernel, CHAMBOLLE_C_SOURCE
+from repro.algorithms.jacobi import jacobi_kernel, JACOBI_C_SOURCE
+from repro.algorithms.heat import heat_equation_kernel, HEAT_C_SOURCE
+from repro.algorithms.convolution import convolution_3x3_kernel, CONVOLUTION_C_SOURCE
+from repro.algorithms.morphology import erosion_kernel, dilation_kernel
+
+__all__ = [
+    "AlgorithmSpec",
+    "ALGORITHMS",
+    "get_algorithm",
+    "list_algorithms",
+    "iterative_gaussian_filter_kernel",
+    "IGF_C_SOURCE",
+    "chambolle_kernel",
+    "CHAMBOLLE_C_SOURCE",
+    "jacobi_kernel",
+    "JACOBI_C_SOURCE",
+    "heat_equation_kernel",
+    "HEAT_C_SOURCE",
+    "convolution_3x3_kernel",
+    "CONVOLUTION_C_SOURCE",
+    "erosion_kernel",
+    "dilation_kernel",
+]

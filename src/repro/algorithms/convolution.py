@@ -1,0 +1,71 @@
+"""Generic (iterated) 3x3 convolution.
+
+Covers the convolution workloads the paper cites ([13], [15], [16]): a 3x3
+kernel with arbitrary coefficients applied once (classic filtering) or
+iterated (e.g. the 20-iteration convolution of the Section 4.1 literature
+comparison).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.frontend.dsl import KernelBuilder, stencil_kernel
+from repro.frontend.kernel_ir import StencilKernel
+
+#: Sharpen-like default coefficients (row-major 3x3), normalised to sum 1.
+DEFAULT_COEFFICIENTS = (
+    0.05, 0.10, 0.05,
+    0.10, 0.40, 0.10,
+    0.05, 0.10, 0.05,
+)
+
+DEFAULT_ITERATIONS = 20
+
+
+def convolution_3x3_kernel(coefficients: Sequence[float] = DEFAULT_COEFFICIENTS,
+                           name: str = "conv3x3") -> StencilKernel:
+    """Build an iterated 3x3 convolution with the given row-major coefficients."""
+    values = [float(c) for c in coefficients]
+    if len(values) != 9:
+        raise ValueError(f"a 3x3 convolution needs 9 coefficients, got {len(values)}")
+
+    def definition(builder: KernelBuilder) -> None:
+        f = builder.field("f")
+        terms = None
+        index = 0
+        for dy in (-1, 0, 1):
+            for dx in (-1, 0, 1):
+                term = values[index] * f(dx, dy)
+                terms = term if terms is None else terms + term
+                index += 1
+        builder.update(f, terms)
+
+    return stencil_kernel(
+        name, definition,
+        description="Iterated 3x3 convolution with constant coefficients",
+    )
+
+
+CONVOLUTION_C_SOURCE = """\
+/* One pass of a 3x3 convolution with constant coefficients. */
+#define C00 0.05f
+#define C01 0.10f
+#define C02 0.05f
+#define C10 0.10f
+#define C11 0.40f
+#define C12 0.10f
+#define C20 0.05f
+#define C21 0.10f
+#define C22 0.05f
+
+void conv3x3(float out[H][W], const float f[H][W]) {
+    for (int y = 1; y < H - 1; y++) {
+        for (int x = 1; x < W - 1; x++) {
+            out[y][x] = C00 * f[y - 1][x - 1] + C01 * f[y - 1][x] + C02 * f[y - 1][x + 1]
+                      + C10 * f[y][x - 1]     + C11 * f[y][x]     + C12 * f[y][x + 1]
+                      + C20 * f[y + 1][x - 1] + C21 * f[y + 1][x] + C22 * f[y + 1][x + 1];
+        }
+    }
+}
+"""

@@ -1,0 +1,62 @@
+"""Iterative Gaussian filter (IGF) — the first case study of the paper (§4.1).
+
+A Gaussian blur with a large kernel is implemented as the repeated
+convolution of the frame with a small 3x3 Gaussian kernel; the iteration
+count controls the effective blur radius.  The 3x3 kernel is the separable
+binomial approximation (1/16, 2/16, 4/16).
+"""
+
+from __future__ import annotations
+
+from repro.frontend.dsl import KernelBuilder, stencil_kernel
+from repro.frontend.kernel_ir import StencilKernel
+
+#: Binomial 3x3 Gaussian coefficients: centre, edge-adjacent, corner.
+CENTER_COEFF = 0.25
+EDGE_COEFF = 0.125
+CORNER_COEFF = 0.0625
+
+
+def _definition(builder: KernelBuilder) -> None:
+    f = builder.field("f")
+    blurred = (
+        CENTER_COEFF * f(0, 0)
+        + EDGE_COEFF * (f(1, 0) + f(-1, 0) + f(0, 1) + f(0, -1))
+        + CORNER_COEFF * (f(1, 1) + f(-1, 1) + f(1, -1) + f(-1, -1))
+    )
+    builder.update(f, blurred)
+
+
+def iterative_gaussian_filter_kernel(name: str = "blur") -> StencilKernel:
+    """Build the IGF kernel (3x3 binomial Gaussian, iterated)."""
+    return stencil_kernel(
+        name, _definition,
+        description="Iterative Gaussian filter: repeated 3x3 binomial convolution",
+    )
+
+
+#: Number of iterations used in Figure 7 of the paper (10 iterations on a
+#: 1024x768 frame), and in the literature comparison of Section 4.1
+#: (20 iterations, Cope's Virtex-II Pro implementation).
+DEFAULT_ITERATIONS = 10
+LITERATURE_COMPARISON_ITERATIONS = 20
+
+IGF_C_SOURCE = """\
+/* Iterative Gaussian filter: one iteration of the 3x3 binomial blur. */
+#define W_C 0.25f
+#define W_E 0.125f
+#define W_D 0.0625f
+
+void blur(float out[H][W], const float f[H][W]) {
+    for (int y = 1; y < H - 1; y++) {
+        for (int x = 1; x < W - 1; x++) {
+            float centre = W_C * f[y][x];
+            float edges = W_E * (f[y][x + 1] + f[y][x - 1]
+                               + f[y + 1][x] + f[y - 1][x]);
+            float corners = W_D * (f[y + 1][x + 1] + f[y + 1][x - 1]
+                                 + f[y - 1][x + 1] + f[y - 1][x - 1]);
+            out[y][x] = centre + edges + corners;
+        }
+    }
+}
+"""

@@ -1,0 +1,45 @@
+"""Explicit heat-equation time stepping (2D diffusion).
+
+A classic iterative stencil from scientific computing: forward-Euler time
+integration of the diffusion equation, each step adding the scaled 5-point
+Laplacian to the current temperature field.
+"""
+
+from __future__ import annotations
+
+from repro.frontend.dsl import KernelBuilder, stencil_kernel
+from repro.frontend.kernel_ir import StencilKernel
+
+DEFAULT_ALPHA = 0.2
+DEFAULT_ITERATIONS = 12
+
+
+def _definition(builder: KernelBuilder) -> None:
+    t = builder.field("t")
+    alpha = builder.param("alpha", DEFAULT_ALPHA)
+    laplacian = t(1, 0) + t(-1, 0) + t(0, 1) + t(0, -1) - 4.0 * t(0, 0)
+    builder.update(t, t(0, 0) + alpha * laplacian)
+
+
+def heat_equation_kernel(name: str = "heat") -> StencilKernel:
+    """Build the explicit 2D heat-equation kernel."""
+    return stencil_kernel(
+        name, _definition,
+        description="Forward-Euler 2D heat equation (5-point Laplacian)",
+    )
+
+
+HEAT_C_SOURCE = """\
+/* One explicit Euler step of the 2D heat equation. */
+#define alpha 0.2f
+
+void heat(float out[H][W], const float t[H][W]) {
+    for (int y = 1; y < H - 1; y++) {
+        for (int x = 1; x < W - 1; x++) {
+            float lap = t[y][x + 1] + t[y][x - 1] + t[y + 1][x] + t[y - 1][x]
+                      - 4.0f * t[y][x];
+            out[y][x] = t[y][x] + alpha * lap;
+        }
+    }
+}
+"""

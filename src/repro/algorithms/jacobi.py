@@ -1,0 +1,49 @@
+"""Jacobi iteration — the scientific-computation workload the paper cites [17].
+
+The 5-point Jacobi relaxation solves a Laplace/Poisson problem by repeatedly
+replacing each element with the average of its four neighbours (plus a scaled
+right-hand side).  It is the canonical fixed-point ISL: the iteration count is
+in principle unbounded and chosen by a convergence criterion, which the flow
+treats as an a-priori iteration budget (Section 2 of the paper).
+"""
+
+from __future__ import annotations
+
+from repro.frontend.dsl import KernelBuilder, stencil_kernel
+from repro.frontend.kernel_ir import StencilKernel
+
+DEFAULT_ITERATIONS = 16
+
+
+def _definition(builder: KernelBuilder) -> None:
+    u = builder.field("u")
+    rhs = builder.field("rhs")
+    h2 = builder.param("h2", 1.0)
+    builder.update(
+        u,
+        0.25 * (u(1, 0) + u(-1, 0) + u(0, 1) + u(0, -1) - h2 * rhs(0, 0)),
+    )
+
+
+def jacobi_kernel(name: str = "jacobi") -> StencilKernel:
+    """Build the 5-point Jacobi relaxation kernel (Poisson right-hand side)."""
+    return stencil_kernel(
+        name, _definition,
+        description="5-point Jacobi relaxation for Laplace/Poisson problems",
+    )
+
+
+JACOBI_C_SOURCE = """\
+/* One Jacobi relaxation sweep for the Poisson equation. */
+#define h2 1.0f
+
+void jacobi(float out[H][W], const float u[H][W], const float rhs[H][W]) {
+    for (int y = 1; y < H - 1; y++) {
+        for (int x = 1; x < W - 1; x++) {
+            out[y][x] = 0.25f * (u[y][x + 1] + u[y][x - 1]
+                               + u[y + 1][x] + u[y - 1][x]
+                               - h2 * rhs[y][x]);
+        }
+    }
+}
+"""

@@ -1,0 +1,46 @@
+"""Grey-scale morphology: iterated erosion and dilation.
+
+Included as additional ISL workloads that exercise the MIN/MAX operators of
+the datapath (the arithmetic case studies of the paper are add/mul/div
+dominated).  Iterating an erosion with a 3x3 structuring element n times is
+equivalent to eroding with a (2n+1)x(2n+1) element — the same
+"large effect from a small iterated kernel" trick as the IGF.
+"""
+
+from __future__ import annotations
+
+from repro.frontend.dsl import ExprHandle, KernelBuilder, stencil_kernel
+from repro.frontend.kernel_ir import StencilKernel
+
+DEFAULT_ITERATIONS = 8
+
+
+def _neighbourhood(builder: KernelBuilder, f, reducer) -> ExprHandle:
+    result = None
+    for dy in (-1, 0, 1):
+        for dx in (-1, 0, 1):
+            value = f(dx, dy)
+            result = value if result is None else reducer(result, value)
+    return result
+
+
+def erosion_kernel(name: str = "erode") -> StencilKernel:
+    """3x3 grey-scale erosion (neighbourhood minimum), iterated."""
+
+    def definition(builder: KernelBuilder) -> None:
+        f = builder.field("f")
+        builder.update(f, _neighbourhood(builder, f, builder.minimum))
+
+    return stencil_kernel(name, definition,
+                          description="Iterated 3x3 grey-scale erosion")
+
+
+def dilation_kernel(name: str = "dilate") -> StencilKernel:
+    """3x3 grey-scale dilation (neighbourhood maximum), iterated."""
+
+    def definition(builder: KernelBuilder) -> None:
+        f = builder.field("f")
+        builder.update(f, _neighbourhood(builder, f, builder.maximum))
+
+    return stencil_kernel(name, definition,
+                          description="Iterated 3x3 grey-scale dilation")

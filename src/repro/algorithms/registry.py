@@ -1,0 +1,96 @@
+"""Registry of the case-study algorithms known to the flow and the benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.frontend.kernel_ir import StencilKernel
+from repro.algorithms import gaussian, chambolle, jacobi, heat, convolution, morphology
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """Everything the flow needs to run one case study end to end."""
+
+    name: str
+    build_kernel: Callable[[], StencilKernel]
+    c_source: Optional[str]
+    default_iterations: int
+    description: str
+    paper_section: str = ""
+    typical_frame: Tuple[int, int] = (1024, 768)
+
+    def kernel(self) -> StencilKernel:
+        return self.build_kernel()
+
+
+ALGORITHMS: Dict[str, AlgorithmSpec] = {
+    "blur": AlgorithmSpec(
+        name="blur",
+        build_kernel=gaussian.iterative_gaussian_filter_kernel,
+        c_source=gaussian.IGF_C_SOURCE,
+        default_iterations=gaussian.DEFAULT_ITERATIONS,
+        description="Iterative Gaussian filter (3x3 binomial kernel)",
+        paper_section="4.1",
+    ),
+    "chamb": AlgorithmSpec(
+        name="chamb",
+        build_kernel=chambolle.chambolle_kernel,
+        c_source=chambolle.CHAMBOLLE_C_SOURCE,
+        default_iterations=chambolle.DEFAULT_ITERATIONS,
+        description="Chambolle total-variation minimisation (dual projection)",
+        paper_section="4.2",
+    ),
+    "jacobi": AlgorithmSpec(
+        name="jacobi",
+        build_kernel=jacobi.jacobi_kernel,
+        c_source=jacobi.JACOBI_C_SOURCE,
+        default_iterations=jacobi.DEFAULT_ITERATIONS,
+        description="5-point Jacobi relaxation (Poisson problems)",
+        paper_section="2 (reference [17])",
+    ),
+    "heat": AlgorithmSpec(
+        name="heat",
+        build_kernel=heat.heat_equation_kernel,
+        c_source=heat.HEAT_C_SOURCE,
+        default_iterations=heat.DEFAULT_ITERATIONS,
+        description="Explicit 2D heat-equation time stepping",
+        paper_section="2 (scientific computation)",
+    ),
+    "conv3x3": AlgorithmSpec(
+        name="conv3x3",
+        build_kernel=convolution.convolution_3x3_kernel,
+        c_source=convolution.CONVOLUTION_C_SOURCE,
+        default_iterations=convolution.DEFAULT_ITERATIONS,
+        description="Iterated 3x3 convolution with constant coefficients",
+        paper_section="4.1 (literature comparison, reference [16])",
+    ),
+    "erode": AlgorithmSpec(
+        name="erode",
+        build_kernel=morphology.erosion_kernel,
+        c_source=None,
+        default_iterations=morphology.DEFAULT_ITERATIONS,
+        description="Iterated 3x3 grey-scale erosion (min-filter)",
+        paper_section="additional workload",
+    ),
+    "dilate": AlgorithmSpec(
+        name="dilate",
+        build_kernel=morphology.dilation_kernel,
+        c_source=None,
+        default_iterations=morphology.DEFAULT_ITERATIONS,
+        description="Iterated 3x3 grey-scale dilation (max-filter)",
+        paper_section="additional workload",
+    ),
+}
+
+
+def get_algorithm(name: str) -> AlgorithmSpec:
+    """Look up a registered algorithm by name."""
+    if name not in ALGORITHMS:
+        raise KeyError(f"unknown algorithm {name!r}; available: {sorted(ALGORITHMS)}")
+    return ALGORITHMS[name]
+
+
+def list_algorithms() -> List[str]:
+    return sorted(ALGORITHMS)

@@ -1,0 +1,79 @@
+"""Cone shapes and their geometry.
+
+A cone is identified by two parameters (Section 1 of the paper): its output
+*window* side and its *depth* (how many iterations it collapses).  Combined
+with the stencil radius of the kernel, these determine the input window, the
+number of intermediate elements computed, and hence the hardware size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.geometry import Window
+from repro.utils.validation import check_positive
+from repro.symbolic.dependency import ConeDomain, cone_element_count, cone_input_count
+
+
+@dataclass(frozen=True, order=True)
+class ConeShape:
+    """The (window side, depth) pair identifying a cone module."""
+
+    window_side: int
+    depth: int
+
+    def __post_init__(self) -> None:
+        check_positive("window_side", self.window_side)
+        check_positive("depth", self.depth)
+
+    @property
+    def window_area(self) -> int:
+        """Number of elements in the output window (the x-axis of Figures 5-10)."""
+        return self.window_side * self.window_side
+
+    def label(self, kernel_name: str = "cone") -> str:
+        """Human-readable identifier matching the paper's naming style."""
+        return f"{kernel_name}_{self.window_area}_d{self.depth}"
+
+    def geometry(self, radius: int, components: int = 1) -> "ConeGeometry":
+        return ConeGeometry(self, radius, components)
+
+
+@dataclass(frozen=True)
+class ConeGeometry:
+    """A cone shape specialised to a kernel's stencil radius and component count."""
+
+    shape: ConeShape
+    radius: int
+    components: int = 1
+
+    @property
+    def input_side(self) -> int:
+        return self.shape.window_side + 2 * self.radius * self.shape.depth
+
+    @property
+    def input_elements(self) -> int:
+        return cone_input_count(self.shape.window_side, self.radius,
+                                self.shape.depth, self.components)
+
+    @property
+    def output_elements(self) -> int:
+        return self.shape.window_area * self.components
+
+    @property
+    def computed_elements(self) -> int:
+        return cone_element_count(self.shape.window_side, self.radius,
+                                  self.shape.depth, self.components)
+
+    @property
+    def recompute_overhead(self) -> float:
+        """Computed elements per output element (1.0 x depth is the ideal)."""
+        return self.computed_elements / self.output_elements
+
+    def domain(self) -> ConeDomain:
+        return ConeDomain(
+            output_window=Window.square(self.shape.window_side),
+            depth=self.shape.depth,
+            radius=self.radius,
+            components=self.components,
+        )

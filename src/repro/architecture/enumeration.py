@@ -1,0 +1,143 @@
+"""Enumeration of the architecture solution space.
+
+The design space the paper explores is the cross product of output window
+sizes, level splittings of the iteration count, and cone instance counts.
+For the experiments of Section 4 the splittings are *uniform*: a single cone
+depth d is used for all levels, plus (when d does not divide the iteration
+count) one extra level of smaller depth covering the remaining iterations —
+this is exactly the effect discussed around Figure 7, where depths that do
+not divide the iteration count waste area on the remainder cone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.utils.validation import check_positive
+from repro.architecture.template import ConeArchitecture
+
+
+def single_depth_split(total_iterations: int, depth: int) -> List[int]:
+    """Uniform splitting: as many levels of ``depth`` as fit, plus a remainder level."""
+    check_positive("total_iterations", total_iterations)
+    check_positive("depth", depth)
+    if depth > total_iterations:
+        return [total_iterations]
+    levels = [depth] * (total_iterations // depth)
+    remainder = total_iterations % depth
+    if remainder:
+        levels.append(remainder)
+    return levels
+
+
+def enumerate_level_splits(total_iterations: int,
+                           max_depth: Optional[int] = None,
+                           uniform_only: bool = True) -> List[List[int]]:
+    """Enumerate level splittings of the iteration count.
+
+    With ``uniform_only`` (the default, matching the paper's experiments) one
+    splitting per candidate depth is produced.  With ``uniform_only=False``
+    every composition of the iteration count into depths bounded by
+    ``max_depth`` is generated (useful for ablations; the space grows quickly).
+    """
+    check_positive("total_iterations", total_iterations)
+    limit = max_depth if max_depth is not None else total_iterations
+    limit = min(limit, total_iterations)
+
+    if uniform_only:
+        splits = []
+        for depth in range(1, limit + 1):
+            split = single_depth_split(total_iterations, depth)
+            if split not in splits:
+                splits.append(split)
+        return splits
+
+    results: List[List[int]] = []
+
+    def compose(remaining: int, current: List[int]) -> None:
+        if remaining == 0:
+            results.append(list(current))
+            return
+        for depth in range(1, min(limit, remaining) + 1):
+            current.append(depth)
+            compose(remaining - depth, current)
+            current.pop()
+
+    compose(total_iterations, [])
+    return results
+
+
+@dataclass
+class ArchitectureSpace:
+    """The set of candidate architectures for one kernel and iteration count."""
+
+    kernel_name: str
+    total_iterations: int
+    radius: int
+    components: int = 1
+    window_sides: Sequence[int] = (1, 2, 3, 4, 5, 6, 7, 8, 9)
+    max_depth: Optional[int] = 5
+    max_cones_per_depth: int = 16
+    uniform_levels_only: bool = True
+
+    def level_splits(self) -> List[List[int]]:
+        return enumerate_level_splits(self.total_iterations, self.max_depth,
+                                      self.uniform_levels_only)
+
+    def distinct_shapes(self) -> List[Tuple[int, int]]:
+        """Every (window_side, depth) cone module the space may need."""
+        shapes = set()
+        for window in self.window_sides:
+            for split in self.level_splits():
+                for depth in set(split):
+                    shapes.add((window, depth))
+        return sorted(shapes)
+
+    def architectures(self,
+                      cone_count_choices: Optional[Sequence[int]] = None
+                      ) -> Iterator[ConeArchitecture]:
+        """Yield every candidate architecture in the space.
+
+        ``cone_count_choices`` restricts the number of instances of the
+        *primary* (deepest) cone; remainder depths always get one instance,
+        matching how the paper's tables scale the ``core_num`` column.
+        """
+        counts = cone_count_choices or range(1, self.max_cones_per_depth + 1)
+        for window in self.window_sides:
+            for split in self.level_splits():
+                depths = sorted(set(split))
+                primary = max(depths)
+                for count in counts:
+                    cone_counts: Dict[int, int] = {d: 1 for d in depths}
+                    cone_counts[primary] = count
+                    yield ConeArchitecture(
+                        kernel_name=self.kernel_name,
+                        window_side=window,
+                        level_depths=list(split),
+                        cone_counts=cone_counts,
+                        radius=self.radius,
+                        components=self.components,
+                    )
+
+    def size(self, cone_count_choices: Optional[Sequence[int]] = None) -> int:
+        counts = cone_count_choices or range(1, self.max_cones_per_depth + 1)
+        return len(list(self.level_splits())) * len(list(self.window_sides)) * len(list(counts))
+
+
+def enumerate_architectures(kernel_name: str, total_iterations: int, radius: int,
+                            components: int = 1,
+                            window_sides: Sequence[int] = (1, 2, 3, 4, 5, 6, 7, 8, 9),
+                            max_depth: Optional[int] = 5,
+                            max_cones_per_depth: int = 16) -> List[ConeArchitecture]:
+    """Convenience wrapper returning the full candidate list."""
+    space = ArchitectureSpace(
+        kernel_name=kernel_name,
+        total_iterations=total_iterations,
+        radius=radius,
+        components=components,
+        window_sides=window_sides,
+        max_depth=max_depth,
+        max_cones_per_depth=max_cones_per_depth,
+    )
+    return list(space.architectures())

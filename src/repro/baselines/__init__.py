@@ -1,0 +1,34 @@
+"""Baselines the paper compares against.
+
+* :mod:`repro.baselines.commercial_hls` — a model of a generic loop-optimising
+  HLS tool (Vivado HLS / Synphony C style), reproducing Section 4.3.
+* :mod:`repro.baselines.manual_designs` — published figures of the
+  hand-optimised literature designs used in Sections 4.1 and 4.2.
+* The frame-buffer architecture baseline lives in
+  :mod:`repro.simulation.framebuffer_baseline` because it doubles as a
+  simulation substrate.
+"""
+
+from repro.baselines.commercial_hls import (
+    CommercialHlsTool,
+    HlsConfiguration,
+    HlsResult,
+    HlsToolError,
+    HlsStatus,
+)
+from repro.baselines.manual_designs import (
+    LiteratureDesign,
+    LITERATURE_DESIGNS,
+    literature_design,
+)
+
+__all__ = [
+    "CommercialHlsTool",
+    "HlsConfiguration",
+    "HlsResult",
+    "HlsToolError",
+    "HlsStatus",
+    "LiteratureDesign",
+    "LITERATURE_DESIGNS",
+    "literature_design",
+]

@@ -1,0 +1,228 @@
+"""Model of a generic commercial HLS tool applied to ISL code (Section 4.3).
+
+Vivado HLS and Synphony C Compiler optimise the *single-iteration* loop nest
+with general-purpose transformations — unrolling, pipelining, loop merging /
+flattening, array partitioning — but do not restructure the computation
+across iterations.  The consequences the paper reports are reproduced here:
+
+* the frame buffers do not fit in on-chip memory, so every iteration streams
+  the full frame through off-chip memory and the inner loop is bound by the
+  memory port (a handful of reads per produced element);
+* *loop merging* across the iteration loop fails because of the
+  inter-iteration data dependencies;
+* *pipelining + full loop flattening* forces the tool to unroll/partition
+  frame-sized arrays, whose internal representation exhausts the memory of
+  the synthesis host (the paper observed an out-of-memory abort on a 16 GB
+  machine);
+* the best reachable configuration lands around 0.14 fps on a 1024x768
+  frame — orders of magnitude below the cone architecture.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.frontend.kernel_ir import StencilKernel
+from repro.frontend.semantic import validate_kernel
+from repro.ir.operators import DataFormat
+from repro.synth.fpga_device import FpgaDevice, VIRTEX6_XC6VLX760
+
+
+class HlsToolError(RuntimeError):
+    """Raised when the modelled tool aborts (infeasible directive combination)."""
+
+
+class HlsStatus(enum.Enum):
+    OK = "ok"
+    LOOP_MERGE_FAILED = "loop_merge_failed"
+    OUT_OF_MEMORY = "out_of_memory"
+
+
+@dataclass(frozen=True)
+class HlsConfiguration:
+    """Directive set applied to the ISL C code."""
+
+    unroll_factor: int = 1
+    pipeline: bool = False
+    loop_flatten: bool = False
+    loop_merge: bool = False
+    array_partition_factor: int = 1
+    tool_name: str = "vivado_hls"
+
+    def describe(self) -> str:
+        parts = [f"unroll={self.unroll_factor}"]
+        if self.pipeline:
+            parts.append("pipeline")
+        if self.loop_flatten:
+            parts.append("flatten")
+        if self.loop_merge:
+            parts.append("merge")
+        if self.array_partition_factor > 1:
+            parts.append(f"partition={self.array_partition_factor}")
+        return f"{self.tool_name}({', '.join(parts)})"
+
+
+@dataclass(frozen=True)
+class HlsResult:
+    """Outcome of pushing the ISL code through the modelled tool."""
+
+    configuration: HlsConfiguration
+    status: HlsStatus
+    frames_per_second: float
+    seconds_per_frame: float
+    area_luts: float
+    bram_kbits: float
+    detail: str = ""
+
+    @property
+    def succeeded(self) -> bool:
+        return self.status is HlsStatus.OK
+
+
+#: Host memory of the synthesis workstation the paper used (16 GB).
+SYNTHESIS_HOST_MEMORY_BYTES = 16 * 1024 ** 3
+
+#: Average cycles per individual off-chip window read issued by the generic
+#: datapath (no line buffering, limited burst reuse).
+OFFCHIP_ACCESS_CYCLES_PER_READ = 8.0
+
+
+class CommercialHlsTool:
+    """Analytic model of a generic (non-ISL-aware) HLS tool."""
+
+    def __init__(self, kernel: StencilKernel,
+                 device: FpgaDevice = VIRTEX6_XC6VLX760,
+                 data_format: DataFormat = DataFormat.FLOAT32) -> None:
+        self.kernel = kernel
+        self.device = device
+        self.data_format = data_format
+        self.properties = validate_kernel(kernel, strict=False)
+
+    # ------------------------------------------------------------------ #
+
+    def run(self, configuration: HlsConfiguration,
+            frame_width: int, frame_height: int, iterations: int) -> HlsResult:
+        """Evaluate one directive configuration (never raises; see ``status``)."""
+        pixels = frame_width * frame_height
+        components = self.properties.total_state_components
+        readonly = sum(self.properties.components_per_field[name]
+                       for name in self.properties.readonly_fields)
+        element_bytes = self.data_format.bytes
+
+        if configuration.loop_merge:
+            return HlsResult(
+                configuration=configuration,
+                status=HlsStatus.LOOP_MERGE_FAILED,
+                frames_per_second=0.0,
+                seconds_per_frame=float("inf"),
+                area_luts=0.0,
+                bram_kbits=0.0,
+                detail=("loop merge across the iteration loop rejected: the "
+                        "elements of iteration i+1 depend on neighbouring "
+                        "elements of iteration i"),
+            )
+
+        if configuration.pipeline and configuration.loop_flatten:
+            # Flattening the full frame loop nest and pipelining it forces the
+            # tool to elaborate per-element multiplexing logic over the
+            # partitioned frame arrays; its internal netlist grows with the
+            # frame size, the kernel operation count and the partition factor.
+            netlist_bytes = (pixels * (components + readonly)
+                             * self.properties.operation_count
+                             * max(1, configuration.array_partition_factor)
+                             * 2500.0)  # bytes of internal IR per elaborated op
+            if netlist_bytes > SYNTHESIS_HOST_MEMORY_BYTES:
+                return HlsResult(
+                    configuration=configuration,
+                    status=HlsStatus.OUT_OF_MEMORY,
+                    frames_per_second=0.0,
+                    seconds_per_frame=float("inf"),
+                    area_luts=0.0,
+                    bram_kbits=0.0,
+                    detail=(f"tool elaboration needs ~{netlist_bytes / 1e9:.1f} GB "
+                            "on the synthesis host (16 GB available)"),
+                )
+
+        # Feasible configuration: iteration-by-iteration execution with the
+        # frame in off-chip memory (it does not fit in BRAM for the paper's
+        # frame sizes), inner loop II bound by the window reads through the
+        # memory port, improved by unrolling/partitioning up to the port limit.
+        frame_bytes = pixels * components * element_bytes
+        fits_onchip = 2 * frame_bytes <= self.device.onchip_memory_bytes
+
+        reads_per_element = self.properties.footprint_size + readonly
+        parallel_reads = min(configuration.unroll_factor,
+                             configuration.array_partition_factor) or 1
+        body_latency = max(8, self.properties.operation_count)
+        if fits_onchip:
+            # window reads come from partitioned BRAM: unrolling/partitioning
+            # raises the read parallelism.
+            memory_interval = max(1.0, reads_per_element / parallel_reads)
+        else:
+            # the frame lives in external memory and the tool issues the
+            # window reads element by element through a single memory port;
+            # partitioning the (off-chip) array does not help.
+            memory_interval = reads_per_element * OFFCHIP_ACCESS_CYCLES_PER_READ
+        if configuration.pipeline:
+            initiation_interval = memory_interval
+        else:
+            # un-pipelined loop body: the operation chain latency adds to the
+            # memory access time of every element.
+            initiation_interval = body_latency + memory_interval
+
+        clock = self.device.typical_clock_hz
+        compute_cycles = iterations * pixels * initiation_interval
+
+        if fits_onchip:
+            offchip_bytes = 2.0 * frame_bytes
+        else:
+            offchip_bytes = iterations * 2.0 * frame_bytes * (
+                1.0 + readonly / max(components, 1))
+        transfer_cycles = offchip_bytes / (
+            self.device.offchip_bandwidth_bytes_per_s / clock)
+
+        total_cycles = compute_cycles + transfer_cycles
+        seconds = total_cycles / clock
+
+        datapath_luts = 900.0 * self.properties.operation_count ** 0.85 \
+            * configuration.unroll_factor ** 0.9
+        bram_kbits = min(2 * frame_bytes * 8 / 1024.0, self.device.bram_kbits) \
+            if fits_onchip else 64.0 * configuration.array_partition_factor
+
+        return HlsResult(
+            configuration=configuration,
+            status=HlsStatus.OK,
+            frames_per_second=1.0 / seconds if seconds > 0 else 0.0,
+            seconds_per_frame=seconds,
+            area_luts=datapath_luts,
+            bram_kbits=bram_kbits,
+            detail="frame buffers in off-chip memory" if not fits_onchip
+                   else "frame buffers in on-chip memory",
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def best_configuration(self, frame_width: int, frame_height: int,
+                           iterations: int) -> HlsResult:
+        """Sweep the directive space and return the fastest feasible result."""
+        best: Optional[HlsResult] = None
+        for unroll in (1, 2, 4, 8, 16):
+            for pipeline in (False, True):
+                for flatten in (False, True):
+                    for partition in (1, 2, 4, 8, 16):
+                        result = self.run(
+                            HlsConfiguration(unroll_factor=unroll,
+                                             pipeline=pipeline,
+                                             loop_flatten=flatten,
+                                             array_partition_factor=partition),
+                            frame_width, frame_height, iterations)
+                        if not result.succeeded:
+                            continue
+                        if best is None or result.frames_per_second > best.frames_per_second:
+                            best = result
+        if best is None:
+            raise HlsToolError("no feasible configuration found")
+        return best

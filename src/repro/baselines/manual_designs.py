@@ -1,0 +1,99 @@
+"""Published figures of the literature designs the paper compares against.
+
+These are comparison *data points* (the paper quotes them from the cited
+publications), not systems we re-implement: they anchor the "who wins, by
+roughly what factor" checks of the Section 4.1 / 4.2 benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+FrameSize = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class LiteratureDesign:
+    """One published implementation with its reported frame rates."""
+
+    name: str
+    reference: str
+    algorithm: str
+    device: str
+    design_effort: str
+    fps_by_frame: Dict[FrameSize, float] = field(default_factory=dict)
+    notes: str = ""
+
+    def fps(self, frame: FrameSize) -> float:
+        if frame not in self.fps_by_frame:
+            raise KeyError(
+                f"{self.name} has no published figure for frame {frame}; "
+                f"available: {sorted(self.fps_by_frame)}"
+            )
+        return self.fps_by_frame[frame]
+
+
+LITERATURE_DESIGNS: Dict[str, LiteratureDesign] = {
+    "cope_convolution": LiteratureDesign(
+        name="cope_convolution",
+        reference="[16] B. Cope, 'Implementation of 2D Convolution on FPGA, GPU and CPU', 2006",
+        algorithm="20-iteration 3x3 convolution",
+        device="XC2VP30",
+        design_effort="manual",
+        fps_by_frame={(1024, 768): 13.5, (1920, 1080): 4.9},
+        notes="Paper text: 13.5 fps at 1024x768 and below 5 fps at Full-HD "
+              "on a Virtex-II Pro.",
+    ),
+    "akin_chambolle": LiteratureDesign(
+        name="akin_chambolle",
+        reference="[19] A. Akin et al., 'A high-performance parallel implementation "
+                  "of the Chambolle algorithm', DATE 2011",
+        algorithm="Chambolle total-variation minimisation",
+        device="Virtex-6",
+        design_effort="manual (several months of work)",
+        fps_by_frame={(1024, 768): 38.0, (512, 512): 99.0},
+        notes="The hand-optimised design the cone architecture is measured against.",
+    ),
+    "pock_tvl1": LiteratureDesign(
+        name="pock_tvl1",
+        reference="[3] T. Pock et al., 'A duality based algorithm for TV-L1 "
+                  "optical-flow image registration', MICCAI 2007",
+        algorithm="TV-L1 optical flow (Chambolle-style inner loop)",
+        device="GPU/CPU reference implementations",
+        design_effort="software",
+        fps_by_frame={(512, 512): 25.0, (1024, 768): 9.0},
+        notes="Representative of the non-real-time implementations the paper "
+              "cites as unable to reach 30 fps even on small images.",
+    ),
+    "paper_cone_igf": LiteratureDesign(
+        name="paper_cone_igf",
+        reference="Nacci et al., DAC 2013 (this paper), Section 4.1",
+        algorithm="Iterative Gaussian filter",
+        device="XC6VLX760 / XC2VP30",
+        design_effort="automatic (this flow)",
+        fps_by_frame={(1024, 768): 110.0, (1920, 1080): 35.0},
+        notes="110 fps at 1024x768 on a Virtex-6; 35 fps at Full-HD on the "
+              "same Virtex-II Pro used by [16].",
+    ),
+    "paper_cone_chambolle": LiteratureDesign(
+        name="paper_cone_chambolle",
+        reference="Nacci et al., DAC 2013 (this paper), Section 4.2",
+        algorithm="Chambolle total-variation minimisation",
+        device="XC6VLX760",
+        design_effort="automatic (this flow)",
+        fps_by_frame={(1024, 768): 24.0, (512, 512): 72.0},
+        notes="Automatically generated architectures: 24 fps at 1024x768 and "
+              "72 fps at 512x512.",
+    ),
+}
+
+
+def literature_design(name: str) -> LiteratureDesign:
+    """Look up a published design by name."""
+    if name not in LITERATURE_DESIGNS:
+        raise KeyError(
+            f"unknown literature design {name!r}; available: "
+            f"{sorted(LITERATURE_DESIGNS)}"
+        )
+    return LITERATURE_DESIGNS[name]

@@ -1,0 +1,42 @@
+"""Identifier mangling helpers for VHDL generation."""
+
+from __future__ import annotations
+
+import re
+
+_VHDL_KEYWORDS = {
+    "abs", "access", "after", "alias", "all", "and", "architecture", "array",
+    "assert", "attribute", "begin", "block", "body", "buffer", "bus", "case",
+    "component", "configuration", "constant", "disconnect", "downto", "else",
+    "elsif", "end", "entity", "exit", "file", "for", "function", "generate",
+    "generic", "group", "guarded", "if", "impure", "in", "inertial", "inout",
+    "is", "label", "library", "linkage", "literal", "loop", "map", "mod",
+    "nand", "new", "next", "nor", "not", "null", "of", "on", "open", "or",
+    "others", "out", "package", "port", "postponed", "procedure", "process",
+    "pure", "range", "record", "register", "reject", "rem", "report",
+    "return", "rol", "ror", "select", "severity", "signal", "shared", "sla",
+    "sll", "sra", "srl", "subtype", "then", "to", "transport", "type",
+    "unaffected", "units", "until", "use", "variable", "wait", "when",
+    "while", "with", "xnor", "xor",
+}
+
+_INVALID_CHARS = re.compile(r"[^A-Za-z0-9_]")
+_MULTI_UNDERSCORE = re.compile(r"__+")
+
+
+def vhdl_identifier(name: str) -> str:
+    """Turn an arbitrary string into a legal VHDL basic identifier."""
+    cleaned = _INVALID_CHARS.sub("_", name)
+    cleaned = _MULTI_UNDERSCORE.sub("_", cleaned).strip("_")
+    if not cleaned:
+        cleaned = "sig"
+    if cleaned[0].isdigit():
+        cleaned = "s_" + cleaned
+    if cleaned.lower() in _VHDL_KEYWORDS:
+        cleaned += "_i"
+    return cleaned
+
+
+def signal_name(prefix: str, node_id: int) -> str:
+    """Stable signal name for a DFG node."""
+    return vhdl_identifier(f"{prefix}_{node_id}")

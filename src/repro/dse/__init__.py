@@ -1,0 +1,16 @@
+"""Design-space exploration: estimate every candidate architecture, extract Pareto set."""
+
+from repro.dse.design_point import DesignPoint
+from repro.dse.pareto import pareto_front, is_dominated
+from repro.dse.constraints import DseConstraints
+from repro.dse.explorer import DesignSpaceExplorer, ExplorationResult, ConeCharacterization
+
+__all__ = [
+    "DesignPoint",
+    "pareto_front",
+    "is_dominated",
+    "DseConstraints",
+    "DesignSpaceExplorer",
+    "ExplorationResult",
+    "ConeCharacterization",
+]

@@ -1,0 +1,34 @@
+"""User constraints applied during the exploration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.dse.design_point import DesignPoint
+
+
+@dataclass(frozen=True)
+class DseConstraints:
+    """Optional bounds on the solutions the flow reports.
+
+    ``min_frames_per_second`` expresses the throughput lower bound (frame
+    rate) the paper mentions as the typical user constraint; ``max_area_luts``
+    caps the cost, and ``device_only`` restricts the result to architectures
+    that fit the selected device.
+    """
+
+    min_frames_per_second: Optional[float] = None
+    max_area_luts: Optional[float] = None
+    device_only: bool = False
+
+    def admits(self, point: DesignPoint) -> bool:
+        if self.device_only and not point.fits_device:
+            return False
+        if (self.min_frames_per_second is not None
+                and point.frames_per_second < self.min_frames_per_second):
+            return False
+        if (self.max_area_luts is not None
+                and point.area_luts > self.max_area_luts):
+            return False
+        return True

@@ -1,0 +1,60 @@
+"""Design points produced by the exploration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.architecture.template import ConeArchitecture
+from repro.estimation.throughput_model import ArchitecturePerformance
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One fully characterised architecture candidate.
+
+    The two objectives of the exploration are ``area_luts`` (cost) and
+    ``seconds_per_frame`` (performance, lower is better), matching the axes
+    of the Pareto curves in Figures 6 and 9 of the paper.
+    """
+
+    architecture: ConeArchitecture
+    area_luts: float
+    area_estimated: bool
+    performance: ArchitecturePerformance
+    fits_device: bool
+    cone_area_by_depth: Optional[Dict[int, float]] = None
+
+    @property
+    def label(self) -> str:
+        return self.architecture.label()
+
+    @property
+    def seconds_per_frame(self) -> float:
+        return self.performance.seconds_per_frame
+
+    @property
+    def frames_per_second(self) -> float:
+        return self.performance.frames_per_second
+
+    @property
+    def kilo_luts(self) -> float:
+        return self.area_luts / 1000.0
+
+    @property
+    def window_area(self) -> int:
+        return self.architecture.window_side ** 2
+
+    @property
+    def primary_depth(self) -> int:
+        return max(self.architecture.level_depths)
+
+    @property
+    def cone_count(self) -> int:
+        return self.architecture.total_cone_instances
+
+    def summary(self) -> str:
+        return (f"{self.label}: {self.kilo_luts:8.1f} kLUT, "
+                f"{self.seconds_per_frame * 1e3:8.3f} ms/frame "
+                f"({self.frames_per_second:6.2f} fps)"
+                f"{'' if self.fits_device else '  [exceeds device]'}")

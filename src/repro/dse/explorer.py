@@ -1,0 +1,337 @@
+"""The design-space explorer.
+
+This is the second phase of the flow (Figure 2 of the paper): starting from
+the dependency analysis of the kernel it characterises every cone shape the
+architecture space may use, calibrates the Equation-1 area model from a small
+number of reference syntheses, estimates area and throughput for every
+candidate architecture, and extracts the Pareto set.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.architecture.cone import ConeShape
+from repro.architecture.enumeration import ArchitectureSpace
+from repro.architecture.template import ConeArchitecture
+from repro.dse.constraints import DseConstraints
+from repro.dse.design_point import DesignPoint
+from repro.dse.pareto import pareto_front
+from repro.estimation.area_model import (
+    AreaModelValidation,
+    CalibrationPoint,
+    RegisterAreaModel,
+    validate_against_synthesis,
+)
+from repro.estimation.throughput_model import (
+    ArchitecturePerformance,
+    ConePerformance,
+    ThroughputModel,
+)
+from repro.frontend.kernel_ir import StencilKernel
+from repro.frontend.semantic import KernelProperties, validate_kernel
+from repro.ir.dfg import build_dfg_from_cone
+from repro.ir.operators import DataFormat, OperatorLibrary, default_library
+from repro.symbolic.cone_expression import ConeExpressionBuilder
+from repro.synth.fpga_device import FpgaDevice, VIRTEX6_XC6VLX760
+from repro.synth.synthesizer import Synthesizer
+
+
+@dataclass
+class ConeCharacterization:
+    """Area/latency characterisation of one cone shape."""
+
+    shape: ConeShape
+    register_count: int
+    operation_count: int
+    critical_path_depth: int
+    estimated_area_luts: float = 0.0
+    actual_area_luts: Optional[float] = None
+    latency_cycles: int = 1
+    synthesized: bool = False
+
+    @property
+    def area_luts(self) -> float:
+        """Best available area figure (synthesis when present, else estimate)."""
+        if self.actual_area_luts is not None:
+            return self.actual_area_luts
+        return self.estimated_area_luts
+
+    @property
+    def window_area(self) -> int:
+        return self.shape.window_area
+
+
+@dataclass
+class ExplorationResult:
+    """Everything the exploration produces."""
+
+    kernel_name: str
+    device_name: str
+    frame_width: int
+    frame_height: int
+    total_iterations: int
+    properties: KernelProperties
+    characterizations: Dict[Tuple[int, int], ConeCharacterization]
+    design_points: List[DesignPoint]
+    pareto: List[DesignPoint]
+    area_validations: Dict[int, AreaModelValidation]
+    synthesis_runs: int
+    synthesis_runs_avoided: int
+    tool_runtime_spent_s: float
+    tool_runtime_avoided_s: float
+
+    def characterization(self, window_side: int, depth: int) -> ConeCharacterization:
+        return self.characterizations[(window_side, depth)]
+
+    def best_fitting_point(self) -> Optional[DesignPoint]:
+        """Fastest design point that fits the target device."""
+        fitting = [p for p in self.design_points if p.fits_device]
+        if not fitting:
+            return None
+        return min(fitting, key=lambda p: p.seconds_per_frame)
+
+    def points_for(self, window_side: Optional[int] = None,
+                   primary_depth: Optional[int] = None) -> List[DesignPoint]:
+        points = self.design_points
+        if window_side is not None:
+            points = [p for p in points
+                      if p.architecture.window_side == window_side]
+        if primary_depth is not None:
+            points = [p for p in points if p.primary_depth == primary_depth]
+        return points
+
+
+class DesignSpaceExplorer:
+    """Runs the estimation + exploration phase of the flow for one kernel."""
+
+    def __init__(self, kernel: StencilKernel,
+                 device: FpgaDevice = VIRTEX6_XC6VLX760,
+                 data_format: DataFormat = DataFormat.FIXED16,
+                 window_sides: Sequence[int] = (1, 2, 3, 4, 5, 6, 7, 8, 9),
+                 max_depth: int = 5,
+                 max_cones_per_depth: int = 16,
+                 calibration_windows_per_depth: int = 2,
+                 synthesize_all: bool = False,
+                 onchip_port_elements_per_cycle: int = 16,
+                 params: Optional[Mapping[str, float]] = None) -> None:
+        self.kernel = kernel
+        self.device = device
+        self.data_format = data_format
+        self.library: OperatorLibrary = default_library(data_format)
+        self.window_sides = tuple(sorted(set(window_sides)))
+        self.max_depth = max_depth
+        self.max_cones_per_depth = max_cones_per_depth
+        self.calibration_windows_per_depth = max(2, calibration_windows_per_depth)
+        self.synthesize_all = synthesize_all
+        self.properties = validate_kernel(kernel)
+        self.cone_builder = ConeExpressionBuilder(kernel, params)
+        self.synthesizer = Synthesizer(device, self.library)
+        readonly = sum(self.properties.components_per_field[name]
+                       for name in self.properties.readonly_fields)
+        self.throughput_model = ThroughputModel(
+            device=device,
+            data_format=data_format,
+            readonly_components=readonly,
+            onchip_port_elements_per_cycle=onchip_port_elements_per_cycle,
+        )
+        #: Average combinational delay used to estimate the latency of cones
+        #: that are not synthesised (their pipeline depth is derived from the
+        #: expression-DAG depth).
+        self.mean_operator_delay_ns = 2.1
+        # characterisations only depend on the iteration count (through the
+        # set of depths in the space), so repeated explorations — e.g. the
+        # same kernel evaluated on several frame sizes — reuse them.
+        self._characterization_cache: Dict[int, Tuple[
+            Dict[Tuple[int, int], ConeCharacterization],
+            Dict[int, AreaModelValidation]]] = {}
+
+    # ------------------------------------------------------------------ #
+    # phase 1: cone characterisation and area-model calibration
+
+    def characterize_cones(self, total_iterations: int
+                           ) -> Tuple[Dict[Tuple[int, int], ConeCharacterization],
+                                      Dict[int, AreaModelValidation]]:
+        """Characterise every cone shape of the space; calibrate Equation 1."""
+        cached = self._characterization_cache.get(total_iterations)
+        if cached is not None:
+            return cached
+        space = self._space(total_iterations)
+        shapes = space.distinct_shapes()
+        characterizations: Dict[Tuple[int, int], ConeCharacterization] = {}
+
+        # group shapes by depth: Equation 1 runs along the window-size axis
+        by_depth: Dict[int, List[int]] = {}
+        for window, depth in shapes:
+            by_depth.setdefault(depth, []).append(window)
+
+        validations: Dict[int, AreaModelValidation] = {}
+        period_ns = 1e9 / self.device.typical_clock_hz
+
+        for depth, windows in sorted(by_depth.items()):
+            windows = sorted(windows)
+            registers: Dict[int, int] = {}
+            per_window: Dict[int, ConeCharacterization] = {}
+
+            for window in windows:
+                cone = self.cone_builder.build(window, depth)
+                characterization = ConeCharacterization(
+                    shape=ConeShape(window, depth),
+                    register_count=cone.register_count,
+                    operation_count=cone.operation_count,
+                    critical_path_depth=cone.critical_path_depth,
+                )
+                registers[window * window] = cone.register_count
+                per_window[window] = characterization
+
+                calibration_slot = windows.index(window) < self.calibration_windows_per_depth
+                if calibration_slot or self.synthesize_all:
+                    dfg = build_dfg_from_cone(cone)
+                    report = self.synthesizer.synthesize(dfg)
+                    characterization.actual_area_luts = report.area.luts
+                    characterization.latency_cycles = report.timing.latency_cycles
+                    characterization.synthesized = True
+                else:
+                    characterization.latency_cycles = max(1, math.ceil(
+                        characterization.critical_path_depth
+                        * self.mean_operator_delay_ns / period_ns))
+
+            # calibrate the Equation-1 model on the first syntheses of this depth
+            calibration = [
+                CalibrationPoint(key=w * w,
+                                 register_count=per_window[w].register_count,
+                                 actual_area_luts=per_window[w].actual_area_luts or 0.0)
+                for w in windows[:self.calibration_windows_per_depth]
+            ]
+            if len(calibration) >= 2:
+                model = RegisterAreaModel(self.library)
+                model.calibrate(calibration)
+                estimates = {e.key: e.estimated_area_luts
+                             for e in model.estimate_series(registers)}
+            else:
+                # a single window in the family: its synthesis result is used
+                # directly, no incremental model is needed.
+                estimates = {windows[0] ** 2:
+                             per_window[windows[0]].actual_area_luts or 0.0}
+            for window in windows:
+                per_window[window].estimated_area_luts = estimates[window * window]
+
+            actual = {w * w: per_window[w].actual_area_luts
+                      for w in windows if per_window[w].actual_area_luts is not None}
+            validations[depth] = validate_against_synthesis(actual, estimates, depth=depth)
+
+            for window in windows:
+                characterizations[(window, depth)] = per_window[window]
+
+        self._characterization_cache[total_iterations] = (characterizations,
+                                                          validations)
+        return characterizations, validations
+
+    # ------------------------------------------------------------------ #
+    # phase 2: architecture space evaluation
+
+    def explore(self, total_iterations: int, frame_width: int, frame_height: int,
+                constraints: Optional[DseConstraints] = None) -> ExplorationResult:
+        """Run the full exploration and return design points plus the Pareto set."""
+        characterizations, validations = self.characterize_cones(total_iterations)
+        space = self._space(total_iterations)
+        constraints = constraints or DseConstraints()
+
+        usable_luts = self.device.usable_capacity.luts
+        design_points: List[DesignPoint] = []
+
+        for architecture in space.architectures():
+            area_by_depth: Dict[int, float] = {}
+            estimated = False
+            valid = True
+            for depth in architecture.distinct_depths:
+                characterization = characterizations.get(
+                    (architecture.window_side, depth))
+                if characterization is None:
+                    valid = False
+                    break
+                area_by_depth[depth] = characterization.area_luts
+                estimated = estimated or not characterization.synthesized
+            if not valid:
+                continue
+
+            total_area = sum(architecture.cone_counts[d] * area_by_depth[d]
+                             for d in architecture.distinct_depths)
+            performance = self._performance(architecture, characterizations,
+                                            frame_width, frame_height)
+            point = DesignPoint(
+                architecture=architecture,
+                area_luts=total_area,
+                area_estimated=estimated,
+                performance=performance,
+                fits_device=total_area <= usable_luts,
+                cone_area_by_depth=dict(area_by_depth),
+            )
+            if constraints.admits(point):
+                design_points.append(point)
+
+        pareto = pareto_front(design_points)
+        full_space_runs = len(characterizations)
+        runs_spent = self.synthesizer.runs
+        runs_avoided = max(0, full_space_runs - runs_spent)
+        avoided_runtime = self._avoided_runtime(characterizations)
+
+        return ExplorationResult(
+            kernel_name=self.kernel.name,
+            device_name=self.device.name,
+            frame_width=frame_width,
+            frame_height=frame_height,
+            total_iterations=total_iterations,
+            properties=self.properties,
+            characterizations=characterizations,
+            design_points=design_points,
+            pareto=pareto,
+            area_validations=validations,
+            synthesis_runs=runs_spent,
+            synthesis_runs_avoided=runs_avoided,
+            tool_runtime_spent_s=self.synthesizer.total_tool_runtime_s,
+            tool_runtime_avoided_s=avoided_runtime,
+        )
+
+    # ------------------------------------------------------------------ #
+    # helpers
+
+    def _space(self, total_iterations: int) -> ArchitectureSpace:
+        return ArchitectureSpace(
+            kernel_name=self.kernel.name,
+            total_iterations=total_iterations,
+            radius=self.properties.radius,
+            components=self.properties.total_state_components,
+            window_sides=self.window_sides,
+            max_depth=self.max_depth,
+            max_cones_per_depth=self.max_cones_per_depth,
+        )
+
+    def _performance(self, architecture: ConeArchitecture,
+                     characterizations: Mapping[Tuple[int, int], ConeCharacterization],
+                     frame_width: int, frame_height: int) -> ArchitecturePerformance:
+        cone_performance: Dict[int, ConePerformance] = {}
+        for depth in architecture.distinct_depths:
+            characterization = characterizations[(architecture.window_side, depth)]
+            cone_performance[depth] = ConePerformance(
+                depth=depth,
+                window_side=architecture.window_side,
+                latency_cycles=characterization.latency_cycles,
+                initiation_interval=1,
+            )
+        return self.throughput_model.evaluate(architecture, cone_performance,
+                                              frame_width, frame_height)
+
+    def _avoided_runtime(self, characterizations: Mapping[Tuple[int, int],
+                                                          ConeCharacterization]) -> float:
+        """Tool runtime a full-synthesis exploration would have cost extra."""
+        avoided = 0.0
+        for characterization in characterizations.values():
+            if not characterization.synthesized:
+                # approximate with the same runtime model the synthesiser uses,
+                # fed with the estimated area.
+                luts = characterization.estimated_area_luts
+                avoided += 40.0 + 90.0 * (max(luts, 0.0) / 10_000.0) ** 1.15
+        return avoided

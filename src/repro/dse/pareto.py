@@ -1,0 +1,39 @@
+"""Pareto-set extraction over (area, time-per-frame).
+
+The paper extracts the Pareto set "by means of an exhaustive search that
+typically requires the evaluation of a few hundreds of solutions"; the
+characterised design points are cheap to compare, so a simple sort-and-scan
+suffices.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.dse.design_point import DesignPoint
+
+
+def is_dominated(candidate: DesignPoint, other: DesignPoint) -> bool:
+    """True when ``other`` is at least as good on both objectives and better on one."""
+    better_or_equal = (other.area_luts <= candidate.area_luts
+                       and other.seconds_per_frame <= candidate.seconds_per_frame)
+    strictly_better = (other.area_luts < candidate.area_luts
+                       or other.seconds_per_frame < candidate.seconds_per_frame)
+    return better_or_equal and strictly_better
+
+
+def pareto_front(points: Iterable[DesignPoint]) -> List[DesignPoint]:
+    """Return the non-dominated subset, sorted by increasing area.
+
+    Ties on both objectives keep a single representative (the first seen),
+    matching how the paper's Pareto charts plot one marker per cost/latency
+    pair.
+    """
+    candidates = sorted(points, key=lambda p: (p.area_luts, p.seconds_per_frame))
+    front: List[DesignPoint] = []
+    best_time = float("inf")
+    for point in candidates:
+        if point.seconds_per_frame < best_time:
+            front.append(point)
+            best_time = point.seconds_per_frame
+    return front

@@ -1,0 +1,157 @@
+"""Throughput and latency estimation of cone architectures.
+
+Following Section 3.3 of the paper, the throughput of an architecture is
+obtained by (1) taking the latency of each cone from the scheduled datapath
+(the sum of operator delays along its pipeline), (2) counting how many cone
+executions each level of the template performs for one output tile and how
+many physical cones serve them in parallel, and (3) accounting for the memory
+system: each execution must be fed its input window through the on-chip
+buffer ports, and each tile must move its input region / output window
+to and from off-chip memory, overlapped with computation by double buffering.
+
+The transaction-level simulator in
+:mod:`repro.simulation.cone_simulator` applies the same accounting tile by
+tile; the two are cross-checked in the test suite.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.architecture.template import ConeArchitecture
+from repro.ir.operators import DataFormat
+from repro.synth.fpga_device import FpgaDevice, VIRTEX6_XC6VLX760
+
+
+@dataclass(frozen=True)
+class ConePerformance:
+    """Timing characteristics of one cone module (from scheduling or estimation)."""
+
+    depth: int
+    window_side: int
+    latency_cycles: int
+    initiation_interval: int = 1
+
+    @property
+    def label(self) -> str:
+        return f"w{self.window_side}d{self.depth}"
+
+
+@dataclass(frozen=True)
+class ArchitecturePerformance:
+    """Estimated frame-level performance of one architecture."""
+
+    architecture_label: str
+    clock_hz: float
+    tiles_per_frame: int
+    compute_cycles_per_tile: float
+    transfer_cycles_per_tile: float
+    cycles_per_tile: float
+    seconds_per_frame: float
+    frames_per_second: float
+    offchip_bytes_per_frame: float
+    compute_bound: bool
+
+    @property
+    def throughput_pixels_per_second(self) -> float:
+        return self.frames_per_second * self.tiles_per_frame
+
+
+class ThroughputModel:
+    """Estimates seconds-per-frame for a cone architecture on a device."""
+
+    def __init__(self, device: FpgaDevice = VIRTEX6_XC6VLX760,
+                 data_format: DataFormat = DataFormat.FIXED32,
+                 readonly_components: int = 0,
+                 onchip_port_elements_per_cycle: int = 16,
+                 tile_overhead_cycles: float = 24.0) -> None:
+        self.device = device
+        self.data_format = data_format
+        self.readonly_components = readonly_components
+        #: Elements per cycle each cone instance can pull from its on-chip
+        #: input buffer (block-RAM port width assigned to the instance).
+        self.onchip_port_elements_per_cycle = onchip_port_elements_per_cycle
+        #: Fixed per-tile control overhead (address generation, handshaking).
+        self.tile_overhead_cycles = tile_overhead_cycles
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def bytes_per_cycle(self) -> float:
+        """Off-chip bandwidth expressed per datapath clock cycle."""
+        return self.device.offchip_bandwidth_bytes_per_s / self.device.typical_clock_hz
+
+    def execution_interval_cycles(self, architecture: ConeArchitecture,
+                                  depth: int,
+                                  performance: ConePerformance) -> float:
+        """Cycles between successive executions of one cone instance.
+
+        Bounded below by the datapath initiation interval and by the time
+        needed to feed the execution's input window through the instance's
+        on-chip buffer port.
+        """
+        geometry = architecture.geometry(depth)
+        feed = math.ceil(geometry.input_elements
+                         / self.onchip_port_elements_per_cycle)
+        return float(max(performance.initiation_interval, feed))
+
+    def compute_cycles_per_tile(self, architecture: ConeArchitecture,
+                                cone_performance: Mapping[int, ConePerformance]) -> float:
+        """Cycles the cone cascade spends computing one output tile.
+
+        Executions of the same depth are served by the available physical
+        instances; consecutive levels are dependent, so each level contributes
+        its pipeline fill latency once plus one execution interval per
+        serialised execution batch.
+        """
+        executions_per_level = architecture.executions_per_level()
+        cycles = 0.0
+        for level_index, depth in enumerate(architecture.level_depths):
+            perf = cone_performance.get(depth)
+            if perf is None:
+                raise KeyError(f"no cone performance data for depth {depth}")
+            instances = architecture.cone_counts.get(depth, 1)
+            executions = executions_per_level[level_index]
+            serialised = math.ceil(executions / max(1, instances))
+            interval = self.execution_interval_cycles(architecture, depth, perf)
+            cycles += perf.latency_cycles + serialised * interval
+        return cycles
+
+    def transfer_cycles_per_tile(self, architecture: ConeArchitecture) -> Tuple[float, float]:
+        """(cycles, bytes) of off-chip traffic for one output tile."""
+        read_elements, written_elements = architecture.offchip_elements_per_tile(
+            readonly_components=self.readonly_components)
+        bytes_moved = (read_elements + written_elements) * self.data_format.bytes
+        return bytes_moved / self.bytes_per_cycle, bytes_moved
+
+    def tiles_per_frame(self, architecture: ConeArchitecture,
+                        frame_width: int, frame_height: int) -> int:
+        side = architecture.window_side
+        return math.ceil(frame_width / side) * math.ceil(frame_height / side)
+
+    # ------------------------------------------------------------------ #
+
+    def evaluate(self, architecture: ConeArchitecture,
+                 cone_performance: Mapping[int, ConePerformance],
+                 frame_width: int, frame_height: int) -> ArchitecturePerformance:
+        """Estimate the frame rate of ``architecture`` on the given frame size."""
+        compute = self.compute_cycles_per_tile(architecture, cone_performance)
+        transfer, bytes_per_tile = self.transfer_cycles_per_tile(architecture)
+        per_tile = max(compute, transfer) + self.tile_overhead_cycles
+        tiles = self.tiles_per_frame(architecture, frame_width, frame_height)
+        clock = self.device.typical_clock_hz
+        seconds_per_frame = per_tile * tiles / clock
+        return ArchitecturePerformance(
+            architecture_label=architecture.label(),
+            clock_hz=clock,
+            tiles_per_frame=tiles,
+            compute_cycles_per_tile=compute,
+            transfer_cycles_per_tile=transfer,
+            cycles_per_tile=per_tile,
+            seconds_per_frame=seconds_per_frame,
+            frames_per_second=1.0 / seconds_per_frame if seconds_per_frame > 0 else 0.0,
+            offchip_bytes_per_frame=bytes_per_tile * tiles,
+            compute_bound=compute >= transfer,
+        )

@@ -1,0 +1,19 @@
+"""End-to-end flow orchestration (Figure 2 of the paper)."""
+
+from repro.flow.hls_flow import HlsFlow, FlowOptions, FlowResult
+from repro.flow.report import (
+    pareto_table,
+    area_validation_table,
+    throughput_table,
+    flow_summary,
+)
+
+__all__ = [
+    "HlsFlow",
+    "FlowOptions",
+    "FlowResult",
+    "pareto_table",
+    "area_validation_table",
+    "throughput_table",
+    "flow_summary",
+]

@@ -1,0 +1,168 @@
+"""The end-to-end HLS flow (Figure 2 of the paper).
+
+``HlsFlow`` wires the pieces together:
+
+1. frontend — accept a C source or an already-built kernel, verify the ISL
+   properties (domain narrowness, translation invariance);
+2. dependency analysis & cone identification — symbolic execution with
+   register reuse (:mod:`repro.symbolic`);
+3. performance and area estimation + design-space exploration
+   (:mod:`repro.estimation`, :mod:`repro.dse`);
+4. Pareto-set extraction;
+5. hardware generation — synthesizable VHDL for the cones of any selected
+   design point (:mod:`repro.codegen`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.architecture.template import ConeArchitecture
+from repro.codegen.vhdl_toplevel import generate_architecture_toplevel
+from repro.codegen.vhdl_writer import FIXED_POINT_PACKAGE, VhdlModule, VhdlWriter
+from repro.dse.constraints import DseConstraints
+from repro.dse.design_point import DesignPoint
+from repro.dse.explorer import DesignSpaceExplorer, ExplorationResult
+from repro.frontend.extractor import extract_kernel_from_c
+from repro.frontend.kernel_ir import StencilKernel
+from repro.frontend.semantic import KernelProperties, validate_kernel
+from repro.ir.dfg import build_dfg_from_cone
+from repro.ir.operators import DataFormat
+from repro.symbolic.cone_expression import ConeExpressionBuilder
+from repro.symbolic.invariance import InvarianceReport, verify_kernel
+from repro.synth.fpga_device import FpgaDevice, VIRTEX6_XC6VLX760
+
+
+@dataclass(frozen=True)
+class FlowOptions:
+    """User-tunable knobs of the flow."""
+
+    device: FpgaDevice = VIRTEX6_XC6VLX760
+    data_format: DataFormat = DataFormat.FIXED16
+    frame_width: int = 1024
+    frame_height: int = 768
+    iterations: int = 10
+    window_sides: Sequence[int] = (1, 2, 3, 4, 5, 6, 7, 8, 9)
+    max_depth: int = 5
+    max_cones_per_depth: int = 16
+    calibration_windows_per_depth: int = 2
+    synthesize_all: bool = False
+    onchip_port_elements_per_cycle: int = 16
+    constraints: Optional[DseConstraints] = None
+
+
+@dataclass
+class FlowResult:
+    """Everything the flow produces for one algorithm."""
+
+    kernel: StencilKernel
+    properties: KernelProperties
+    invariance: InvarianceReport
+    exploration: ExplorationResult
+    options: FlowOptions
+
+    @property
+    def pareto(self) -> List[DesignPoint]:
+        return self.exploration.pareto
+
+    @property
+    def design_points(self) -> List[DesignPoint]:
+        return self.exploration.design_points
+
+    def best_fitting_point(self) -> Optional[DesignPoint]:
+        return self.exploration.best_fitting_point()
+
+    def fastest_point(self) -> DesignPoint:
+        return min(self.design_points, key=lambda p: p.seconds_per_frame)
+
+    def smallest_point(self) -> DesignPoint:
+        return min(self.design_points, key=lambda p: p.area_luts)
+
+
+class HlsFlow:
+    """Drives the whole flow for one ISL algorithm."""
+
+    def __init__(self, kernel_or_c_source: Union[StencilKernel, str],
+                 options: Optional[FlowOptions] = None,
+                 params: Optional[Mapping[str, float]] = None,
+                 c_function_name: Optional[str] = None) -> None:
+        if isinstance(kernel_or_c_source, StencilKernel):
+            self.kernel = kernel_or_c_source
+        else:
+            self.kernel = extract_kernel_from_c(kernel_or_c_source,
+                                                function_name=c_function_name,
+                                                scalar_params=params)
+        self.options = options or FlowOptions()
+        self.params = dict(params) if params else None
+        self.properties = validate_kernel(self.kernel)
+        self.invariance = verify_kernel(self.kernel)
+        if not self.invariance.is_isl:
+            raise ValueError(
+                f"kernel {self.kernel.name!r} is outside the ISL class the flow "
+                f"targets: {self.invariance.detail}"
+            )
+        self._explorer: Optional[DesignSpaceExplorer] = None
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def explorer(self) -> DesignSpaceExplorer:
+        if self._explorer is None:
+            options = self.options
+            self._explorer = DesignSpaceExplorer(
+                kernel=self.kernel,
+                device=options.device,
+                data_format=options.data_format,
+                window_sides=options.window_sides,
+                max_depth=options.max_depth,
+                max_cones_per_depth=options.max_cones_per_depth,
+                calibration_windows_per_depth=options.calibration_windows_per_depth,
+                synthesize_all=options.synthesize_all,
+                onchip_port_elements_per_cycle=options.onchip_port_elements_per_cycle,
+                params=self.params,
+            )
+        return self._explorer
+
+    def run(self) -> FlowResult:
+        """Execute dependency analysis, estimation, exploration and Pareto extraction."""
+        options = self.options
+        exploration = self.explorer.explore(
+            total_iterations=options.iterations,
+            frame_width=options.frame_width,
+            frame_height=options.frame_height,
+            constraints=options.constraints,
+        )
+        return FlowResult(
+            kernel=self.kernel,
+            properties=self.properties,
+            invariance=self.invariance,
+            exploration=exploration,
+            options=options,
+        )
+
+    # ------------------------------------------------------------------ #
+    # hardware generation
+
+    def generate_vhdl(self, point: DesignPoint,
+                      fractional_bits: int = 12) -> Dict[str, str]:
+        """Generate the VHDL of every cone of a design point plus the top level.
+
+        Returns a mapping ``file name -> VHDL source`` (the support package,
+        one entity per cone depth, and the structural top level).
+        """
+        architecture = point.architecture
+        builder = ConeExpressionBuilder(self.kernel, self.params)
+        writer = VhdlWriter(data_format=self.options.data_format,
+                            fractional_bits=fractional_bits)
+        files: Dict[str, str] = {"isl_fixed_pkg.vhd": FIXED_POINT_PACKAGE}
+        entity_names: Dict[int, str] = {}
+        for depth in architecture.distinct_depths:
+            cone = builder.build(architecture.window_side, depth)
+            dfg = build_dfg_from_cone(cone)
+            module = writer.generate(dfg)
+            entity_names[depth] = module.entity_name
+            files[f"{module.entity_name}.vhd"] = module.code
+        files[f"{architecture.label()}_top.vhd"] = generate_architecture_toplevel(
+            architecture, entity_names, data_width=self.options.data_format.width)
+        return files

@@ -1,0 +1,89 @@
+"""Textual reports of flow results: the rows behind each figure of the paper."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.dse.design_point import DesignPoint
+from repro.dse.explorer import ExplorationResult
+from repro.estimation.area_model import AreaModelValidation
+from repro.utils.tables import Table, format_si
+
+
+def pareto_table(points: Sequence[DesignPoint],
+                 title: str = "Pareto-optimal architectures") -> Table:
+    """Tabulate a Pareto set the way Figures 6 / 9 plot it."""
+    table = Table(["label", "window", "levels", "cones", "kLUTs",
+                   "ms/frame", "fps", "fits device"], title=title)
+    for point in points:
+        architecture = point.architecture
+        table.add_row([
+            point.label,
+            f"{architecture.window_side}x{architecture.window_side}",
+            "+".join(str(d) for d in architecture.level_depths),
+            point.cone_count,
+            round(point.kilo_luts, 1),
+            round(point.seconds_per_frame * 1e3, 3),
+            round(point.frames_per_second, 2),
+            "yes" if point.fits_device else "no",
+        ])
+    return table
+
+
+def area_validation_table(validations: Dict[int, AreaModelValidation],
+                          title: str = "Area estimation accuracy (Equation 1)") -> Table:
+    """Tabulate estimated-vs-actual area errors per cone depth (Figures 5 / 8)."""
+    table = Table(["depth", "points", "max error %", "mean error %"], title=title)
+    for depth in sorted(validations):
+        validation = validations[depth]
+        table.add_row([
+            depth,
+            len(validation.entries),
+            round(validation.max_error_percent, 2),
+            round(validation.mean_error_percent, 2),
+        ])
+    return table
+
+
+def throughput_table(result: ExplorationResult,
+                     depths: Optional[Iterable[int]] = None,
+                     title: str = "Best throughput per window area and depth") -> Table:
+    """Tabulate the best fps per (window area, depth) as in Figures 7 / 10."""
+    selected = sorted(set(depths)) if depths is not None else sorted(
+        {p.primary_depth for p in result.design_points})
+    windows = sorted({p.architecture.window_side for p in result.design_points})
+    table = Table(["window area"] + [f"depth {d} (fps)" for d in selected],
+                  title=title)
+    for window in windows:
+        row: List[object] = [window * window]
+        for depth in selected:
+            candidates = [p for p in result.design_points
+                          if p.architecture.window_side == window
+                          and p.primary_depth == depth and p.fits_device]
+            row.append(round(max((p.frames_per_second for p in candidates),
+                                 default=0.0), 2))
+        table.add_row(row)
+    return table
+
+
+def flow_summary(result: ExplorationResult) -> str:
+    """One-paragraph summary of an exploration run."""
+    best = result.best_fitting_point()
+    lines = [
+        f"kernel {result.kernel_name}: {result.total_iterations} iterations on a "
+        f"{result.frame_width}x{result.frame_height} frame, device {result.device_name}",
+        f"  design points evaluated : {len(result.design_points)}",
+        f"  Pareto-optimal points   : {len(result.pareto)}",
+        f"  synthesis runs performed: {result.synthesis_runs} "
+        f"(avoided {result.synthesis_runs_avoided}, "
+        f"saving ~{format_si(result.tool_runtime_avoided_s, 's')} of tool time)",
+    ]
+    if best is not None:
+        lines.append(
+            f"  best architecture on device: {best.label} at "
+            f"{best.frames_per_second:.2f} fps using {best.kilo_luts:.1f} kLUTs")
+    errors = [v.max_error_percent for v in result.area_validations.values()
+              if v.entries]
+    if errors:
+        lines.append(f"  area model max error      : {max(errors):.2f}%")
+    return "\n".join(lines)

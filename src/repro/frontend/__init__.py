@@ -1,0 +1,56 @@
+"""Algorithm frontend: from a C description (or a Python DSL) to a stencil kernel IR.
+
+The flow in the paper takes a C description of the iterative stencil loop as
+input.  This package provides two interchangeable surface syntaxes that both
+produce the same :class:`~repro.frontend.kernel_ir.StencilKernel` object:
+
+* :mod:`repro.frontend.c_parser` — a recursive-descent parser for the C subset
+  the paper's examples are written in (a perfectly-nested loop over the frame
+  with constant-offset array accesses), followed by
+  :mod:`repro.frontend.extractor`, which recognises the ISL pattern.
+* :mod:`repro.frontend.dsl` — a Python embedded DSL for writing kernels
+  directly, convenient in tests and examples.
+"""
+
+from repro.frontend.kernel_ir import (
+    KernelExpr,
+    FieldRead,
+    ParamRef,
+    Literal,
+    BinaryOp,
+    UnaryOp,
+    Select,
+    FieldDecl,
+    FieldUpdate,
+    StencilKernel,
+    KernelValidationError,
+)
+from repro.frontend.dsl import KernelBuilder, FieldHandle, ExprHandle, stencil_kernel
+from repro.frontend.c_ast import CParseError
+from repro.frontend.c_parser import parse_c_source
+from repro.frontend.extractor import extract_kernel_from_c, ExtractionError
+from repro.frontend.semantic import validate_kernel, KernelProperties
+
+__all__ = [
+    "KernelExpr",
+    "FieldRead",
+    "ParamRef",
+    "Literal",
+    "BinaryOp",
+    "UnaryOp",
+    "Select",
+    "FieldDecl",
+    "FieldUpdate",
+    "StencilKernel",
+    "KernelValidationError",
+    "KernelBuilder",
+    "FieldHandle",
+    "ExprHandle",
+    "stencil_kernel",
+    "CParseError",
+    "parse_c_source",
+    "extract_kernel_from_c",
+    "ExtractionError",
+    "validate_kernel",
+    "KernelProperties",
+]

@@ -1,0 +1,154 @@
+"""Tokenizer for the supported C subset."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from repro.frontend.c_ast import CParseError
+
+
+class TokenKind(enum.Enum):
+    IDENT = "ident"
+    NUMBER = "number"
+    KEYWORD = "keyword"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+KEYWORDS = {
+    "void", "int", "float", "double", "const", "for", "if", "else",
+    "return", "unsigned", "static", "inline",
+}
+
+# Multi-character punctuators must be listed before their prefixes.
+PUNCTUATORS = [
+    "<=", ">=", "==", "!=", "&&", "||", "++", "--", "+=", "-=", "*=", "/=",
+    "+", "-", "*", "/", "%", "<", ">", "=", "?", ":", ";", ",",
+    "(", ")", "[", "]", "{", "}", "!", "&",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind.value}, {self.text!r}, {self.line}:{self.column})"
+
+
+class Lexer:
+    """Hand-written scanner producing a flat token list (plus EOF sentinel)."""
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def tokenize(self) -> List[Token]:
+        tokens: List[Token] = []
+        while True:
+            token = self._next_token()
+            tokens.append(token)
+            if token.kind is TokenKind.EOF:
+                return tokens
+
+    # ------------------------------------------------------------------ #
+
+    def _peek(self, ahead: int = 0) -> str:
+        index = self.pos + ahead
+        return self.source[index] if index < len(self.source) else ""
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self.pos < len(self.source):
+                if self.source[self.pos] == "\n":
+                    self.line += 1
+                    self.column = 1
+                else:
+                    self.column += 1
+                self.pos += 1
+
+    def _skip_trivia(self) -> None:
+        while self.pos < len(self.source):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                self._advance(2)
+                while self.pos < len(self.source) and not (
+                    self._peek() == "*" and self._peek(1) == "/"
+                ):
+                    self._advance()
+                if self.pos >= len(self.source):
+                    raise CParseError("unterminated block comment",
+                                      self.line, self.column)
+                self._advance(2)
+            else:
+                return
+
+    def _next_token(self) -> Token:
+        self._skip_trivia()
+        line, column = self.line, self.column
+        if self.pos >= len(self.source):
+            return Token(TokenKind.EOF, "", line, column)
+
+        ch = self._peek()
+
+        # preprocessor lines are handled by the parser pre-pass; the lexer
+        # should never see them, but guard anyway.
+        if ch == "#":
+            raise CParseError("unexpected preprocessor directive", line, column)
+
+        if ch.isalpha() or ch == "_":
+            start = self.pos
+            while self._peek().isalnum() or self._peek() == "_":
+                self._advance()
+            text = self.source[start:self.pos]
+            kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+            return Token(kind, text, line, column)
+
+        if ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
+            start = self.pos
+            seen_dot = False
+            seen_exp = False
+            while True:
+                c = self._peek()
+                if c.isdigit():
+                    self._advance()
+                elif c == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    self._advance()
+                elif c in "eE" and not seen_exp and self.pos > start:
+                    nxt = self._peek(1)
+                    if nxt.isdigit() or (nxt in "+-" and self._peek(2).isdigit()):
+                        seen_exp = True
+                        self._advance()
+                        if self._peek() in "+-":
+                            self._advance()
+                    else:
+                        break
+                else:
+                    break
+            text = self.source[start:self.pos]
+            # float suffixes
+            if self._peek() in "fF":
+                self._advance()
+            elif self._peek() in "lLuU":
+                self._advance()
+            return Token(TokenKind.NUMBER, text, line, column)
+
+        for punct in PUNCTUATORS:
+            if self.source.startswith(punct, self.pos):
+                self._advance(len(punct))
+                return Token(TokenKind.PUNCT, punct, line, column)
+
+        raise CParseError(f"unexpected character {ch!r}", line, column)

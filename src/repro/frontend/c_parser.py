@@ -1,0 +1,450 @@
+"""Recursive-descent parser for the supported C subset.
+
+The grammar covers what ISL kernels are written in:
+
+* ``#define NAME value`` lines (treated as numeric macro definitions);
+* function definitions with scalar and (multi-dimensional) array parameters;
+* canonical ``for (int v = lo; v < hi; v++)`` loops, arbitrarily nested;
+* local declarations ``float t = expr;`` inside loop bodies;
+* assignments to array elements and to locals;
+* arithmetic expressions with ``+ - * /``, comparisons, the ternary operator
+  and whitelisted math intrinsics (``fabs``, ``fabsf``, ``fmin``, ``fminf``,
+  ``fmax``, ``fmaxf``, ``sqrt``, ``sqrtf``, ``min``, ``max``, ``abs``).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.frontend.c_ast import (
+    CArrayAccess,
+    CAssignment,
+    CBinOp,
+    CBlock,
+    CCall,
+    CDeclaration,
+    CExpr,
+    CFor,
+    CFunction,
+    CIdent,
+    CNumber,
+    CParamDecl,
+    CParseError,
+    CStmt,
+    CTernary,
+    CTranslationUnit,
+    CUnaryOp,
+)
+from repro.frontend.c_lexer import Lexer, Token, TokenKind
+
+MATH_INTRINSICS = {
+    "fabs", "fabsf", "abs",
+    "fmin", "fminf", "min",
+    "fmax", "fmaxf", "max",
+    "sqrt", "sqrtf",
+}
+
+_DEFINE_RE = re.compile(r"^\s*#\s*define\s+(\w+)\s+(.+?)\s*$")
+_INCLUDE_RE = re.compile(r"^\s*#\s*(include|pragma|ifndef|ifdef|endif|if|else).*$")
+
+
+def _strip_preprocessor(source: str) -> Tuple[str, Dict[str, float]]:
+    """Remove preprocessor lines, collecting numeric ``#define`` values."""
+    defines: Dict[str, float] = {}
+    kept_lines: List[str] = []
+    for line in source.splitlines():
+        match = _DEFINE_RE.match(line)
+        if match:
+            name, value_text = match.groups()
+            value_text = value_text.split("//")[0].split("/*")[0].strip()
+            value_text = value_text.rstrip("fF")
+            try:
+                defines[name] = float(value_text)
+            except ValueError:
+                # Non-numeric macros (e.g. function-like) are ignored; the
+                # extractor will complain if the kernel actually needs them.
+                pass
+            kept_lines.append("")
+            continue
+        if _INCLUDE_RE.match(line):
+            kept_lines.append("")
+            continue
+        kept_lines.append(line)
+    return "\n".join(kept_lines), defines
+
+
+class Parser:
+    """Token-stream parser producing a :class:`CTranslationUnit`."""
+
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.index = 0
+
+    # ------------------------------------------------------------------ #
+    # token helpers
+
+    def _peek(self, ahead: int = 0) -> Token:
+        index = min(self.index + ahead, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def _advance(self) -> Token:
+        token = self.tokens[self.index]
+        if token.kind is not TokenKind.EOF:
+            self.index += 1
+        return token
+
+    def _check(self, text: str) -> bool:
+        token = self._peek()
+        return token.text == text and token.kind in (TokenKind.PUNCT, TokenKind.KEYWORD)
+
+    def _accept(self, text: str) -> bool:
+        if self._check(text):
+            self._advance()
+            return True
+        return False
+
+    def _expect(self, text: str) -> Token:
+        token = self._peek()
+        if not self._check(text):
+            raise CParseError(f"expected {text!r}, found {token.text!r}",
+                              token.line, token.column)
+        return self._advance()
+
+    def _expect_ident(self) -> Token:
+        token = self._peek()
+        if token.kind is not TokenKind.IDENT:
+            raise CParseError(f"expected identifier, found {token.text!r}",
+                              token.line, token.column)
+        return self._advance()
+
+    # ------------------------------------------------------------------ #
+    # top level
+
+    def parse_translation_unit(self, defines: Dict[str, float]) -> CTranslationUnit:
+        functions: List[CFunction] = []
+        while self._peek().kind is not TokenKind.EOF:
+            functions.append(self._parse_function())
+        return CTranslationUnit(defines=defines, functions=functions)
+
+    def _parse_type(self) -> str:
+        parts: List[str] = []
+        while self._peek().kind is TokenKind.KEYWORD and self._peek().text in (
+            "const", "static", "inline", "unsigned",
+        ):
+            keyword = self._advance().text
+            if keyword == "const":
+                parts.append("const")
+        token = self._peek()
+        if token.kind is not TokenKind.KEYWORD or token.text not in (
+            "void", "int", "float", "double",
+        ):
+            raise CParseError(f"expected a type, found {token.text!r}",
+                              token.line, token.column)
+        parts.append(self._advance().text)
+        return " ".join(parts)
+
+    def _parse_function(self) -> CFunction:
+        return_type = self._parse_type()
+        name = self._expect_ident().text
+        self._expect("(")
+        params: List[CParamDecl] = []
+        if not self._check(")"):
+            while True:
+                params.append(self._parse_param())
+                if not self._accept(","):
+                    break
+        self._expect(")")
+        self._expect("{")
+        body = self._parse_block_statements()
+        return CFunction(name=name, return_type=return_type, params=params, body=body)
+
+    def _parse_param(self) -> CParamDecl:
+        is_const = False
+        type_parts: List[str] = []
+        while self._peek().kind is TokenKind.KEYWORD and self._peek().text in (
+            "const", "unsigned",
+        ):
+            if self._advance().text == "const":
+                is_const = True
+        token = self._peek()
+        if token.kind is not TokenKind.KEYWORD:
+            raise CParseError(f"expected parameter type, found {token.text!r}",
+                              token.line, token.column)
+        type_parts.append(self._advance().text)
+        type_name = " ".join(type_parts)
+        # optional pointer syntax "float *name" treated as 1D unknown-size array
+        pointer = False
+        while self._accept("*"):
+            pointer = True
+        name = self._expect_ident().text
+        dims: List[str] = []
+        while self._accept("["):
+            if self._check("]"):
+                dims.append("")
+            else:
+                dims.append(self._parse_dimension())
+            self._expect("]")
+        if pointer and not dims:
+            dims = [""]
+        return CParamDecl(type_name=type_name, name=name,
+                          array_dims=tuple(dims), is_const=is_const)
+
+    def _parse_dimension(self) -> str:
+        token = self._peek()
+        if token.kind in (TokenKind.IDENT, TokenKind.NUMBER):
+            return self._advance().text
+        raise CParseError(f"unsupported array dimension {token.text!r}",
+                          token.line, token.column)
+
+    # ------------------------------------------------------------------ #
+    # statements
+
+    def _parse_block_statements(self) -> List[CStmt]:
+        statements: List[CStmt] = []
+        while not self._check("}"):
+            if self._peek().kind is TokenKind.EOF:
+                token = self._peek()
+                raise CParseError("unexpected end of file inside block",
+                                  token.line, token.column)
+            statements.append(self._parse_statement())
+        self._expect("}")
+        return statements
+
+    def _parse_statement(self) -> CStmt:
+        token = self._peek()
+        if self._check("{"):
+            self._advance()
+            return CBlock(self._parse_block_statements())
+        if token.kind is TokenKind.KEYWORD and token.text == "for":
+            return self._parse_for()
+        if token.kind is TokenKind.KEYWORD and token.text in ("float", "double", "int", "const"):
+            return self._parse_declaration()
+        if token.kind is TokenKind.KEYWORD and token.text == "return":
+            self._advance()
+            if not self._check(";"):
+                self._parse_expression()
+            self._expect(";")
+            return CBlock([])
+        return self._parse_assignment()
+
+    def _parse_declaration(self) -> CDeclaration:
+        type_name = self._parse_type()
+        name = self._expect_ident().text
+        init: Optional[CExpr] = None
+        if self._accept("="):
+            init = self._parse_expression()
+        self._expect(";")
+        return CDeclaration(type_name=type_name, name=name, init=init)
+
+    def _parse_for(self) -> CFor:
+        self._expect("for")
+        self._expect("(")
+        # init: "int v = lo" or "v = lo"
+        if self._peek().kind is TokenKind.KEYWORD and self._peek().text in ("int", "unsigned"):
+            self._advance()
+            if self._peek().kind is TokenKind.KEYWORD and self._peek().text == "int":
+                self._advance()
+        var_token = self._expect_ident()
+        var = var_token.text
+        self._expect("=")
+        lower = self._parse_expression()
+        self._expect(";")
+        # condition: "v < hi" or "v <= hi"
+        cond_var = self._expect_ident().text
+        if cond_var != var:
+            raise CParseError(
+                f"loop condition tests {cond_var!r} but loop variable is {var!r}",
+                var_token.line, var_token.column)
+        inclusive = False
+        if self._accept("<"):
+            pass
+        elif self._accept("<="):
+            inclusive = True
+        else:
+            token = self._peek()
+            raise CParseError("only '<' or '<=' loop conditions are supported",
+                              token.line, token.column)
+        upper = self._parse_expression()
+        if inclusive:
+            upper = CBinOp("+", upper, CNumber(1.0, is_integer=True))
+        self._expect(";")
+        # step: "v++" or "++v" or "v += 1"
+        step = 1
+        if self._accept("++"):
+            step_var = self._expect_ident().text
+        else:
+            step_var = self._expect_ident().text
+            if self._accept("++"):
+                pass
+            elif self._accept("+="):
+                step_token = self._peek()
+                step_expr = self._parse_expression()
+                if not isinstance(step_expr, CNumber):
+                    raise CParseError("loop step must be a constant",
+                                      step_token.line, step_token.column)
+                step = int(step_expr.value)
+            else:
+                token = self._peek()
+                raise CParseError("unsupported loop increment",
+                                  token.line, token.column)
+        if step_var != var:
+            raise CParseError(
+                f"loop increment updates {step_var!r} but loop variable is {var!r}",
+                var_token.line, var_token.column)
+        self._expect(")")
+        if self._accept("{"):
+            body = self._parse_block_statements()
+        else:
+            body = [self._parse_statement()]
+        return CFor(var=var, lower=lower, upper=upper, body=body, step=step)
+
+    def _parse_assignment(self) -> CAssignment:
+        target = self._parse_postfix()
+        if not isinstance(target, (CIdent, CArrayAccess)):
+            token = self._peek()
+            raise CParseError("assignment target must be a variable or array element",
+                              token.line, token.column)
+        token = self._peek()
+        if self._accept("="):
+            value = self._parse_expression()
+        elif token.text in ("+=", "-=", "*=", "/="):
+            self._advance()
+            rhs = self._parse_expression()
+            value = CBinOp(token.text[0], target, rhs)
+        else:
+            raise CParseError(f"expected assignment operator, found {token.text!r}",
+                              token.line, token.column)
+        self._expect(";")
+        return CAssignment(target=target, value=value)
+
+    # ------------------------------------------------------------------ #
+    # expressions (precedence climbing)
+
+    def _parse_expression(self) -> CExpr:
+        return self._parse_ternary()
+
+    def _parse_ternary(self) -> CExpr:
+        cond = self._parse_logical_or()
+        if self._accept("?"):
+            if_true = self._parse_expression()
+            self._expect(":")
+            if_false = self._parse_expression()
+            return CTernary(cond, if_true, if_false)
+        return cond
+
+    def _parse_logical_or(self) -> CExpr:
+        left = self._parse_logical_and()
+        while self._check("||"):
+            self._advance()
+            right = self._parse_logical_and()
+            left = CBinOp("||", left, right)
+        return left
+
+    def _parse_logical_and(self) -> CExpr:
+        left = self._parse_comparison()
+        while self._check("&&"):
+            self._advance()
+            right = self._parse_comparison()
+            left = CBinOp("&&", left, right)
+        return left
+
+    def _parse_comparison(self) -> CExpr:
+        left = self._parse_additive()
+        while self._peek().text in ("<", "<=", ">", ">=", "==", "!="):
+            op = self._advance().text
+            right = self._parse_additive()
+            left = CBinOp(op, left, right)
+        return left
+
+    def _parse_additive(self) -> CExpr:
+        left = self._parse_multiplicative()
+        while self._peek().text in ("+", "-") and self._peek().kind is TokenKind.PUNCT:
+            op = self._advance().text
+            right = self._parse_multiplicative()
+            left = CBinOp(op, left, right)
+        return left
+
+    def _parse_multiplicative(self) -> CExpr:
+        left = self._parse_unary()
+        while self._peek().text in ("*", "/", "%") and self._peek().kind is TokenKind.PUNCT:
+            op = self._advance().text
+            right = self._parse_unary()
+            left = CBinOp(op, left, right)
+        return left
+
+    def _parse_unary(self) -> CExpr:
+        if self._accept("-"):
+            return CUnaryOp("-", self._parse_unary())
+        if self._accept("+"):
+            return self._parse_unary()
+        if self._accept("!"):
+            return CUnaryOp("!", self._parse_unary())
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> CExpr:
+        expr = self._parse_primary()
+        while self._check("["):
+            if not isinstance(expr, (CIdent, CArrayAccess)):
+                token = self._peek()
+                raise CParseError("subscript applied to a non-array expression",
+                                  token.line, token.column)
+            self._advance()
+            index = self._parse_expression()
+            self._expect("]")
+            if isinstance(expr, CIdent):
+                expr = CArrayAccess(expr.name, (index,))
+            else:
+                expr = CArrayAccess(expr.name, expr.indices + (index,))
+        return expr
+
+    def _parse_primary(self) -> CExpr:
+        token = self._peek()
+        if token.kind is TokenKind.NUMBER:
+            self._advance()
+            text = token.text
+            is_integer = not any(c in text for c in ".eE")
+            return CNumber(float(text), is_integer=is_integer)
+        if token.kind is TokenKind.IDENT:
+            self._advance()
+            if self._check("("):
+                if token.text not in MATH_INTRINSICS:
+                    raise CParseError(
+                        f"call of unsupported function {token.text!r}",
+                        token.line, token.column)
+                self._advance()
+                args: List[CExpr] = []
+                if not self._check(")"):
+                    while True:
+                        args.append(self._parse_expression())
+                        if not self._accept(","):
+                            break
+                self._expect(")")
+                return CCall(token.text, tuple(args))
+            return CIdent(token.text)
+        if token.kind is TokenKind.KEYWORD and token.text in ("float", "double", "int"):
+            # cast: "(float) expr" is handled in _parse_primary of the caller
+            raise CParseError(f"unexpected keyword {token.text!r} in expression",
+                              token.line, token.column)
+        if self._accept("("):
+            # possible cast "(float)expr"
+            inner_token = self._peek()
+            if inner_token.kind is TokenKind.KEYWORD and inner_token.text in (
+                "float", "double", "int",
+            ):
+                self._advance()
+                self._expect(")")
+                return self._parse_unary()
+            expr = self._parse_expression()
+            self._expect(")")
+            return expr
+        raise CParseError(f"unexpected token {token.text!r} in expression",
+                          token.line, token.column)
+
+
+def parse_c_source(source: str) -> CTranslationUnit:
+    """Parse C source text into a :class:`CTranslationUnit`."""
+    stripped, defines = _strip_preprocessor(source)
+    tokens = Lexer(stripped).tokenize()
+    parser = Parser(tokens)
+    return parser.parse_translation_unit(defines)

@@ -1,0 +1,138 @@
+"""Semantic analysis of stencil kernels.
+
+The flow is only applicable to kernels exhibiting the two ISL properties of
+Section 2 of the paper — *domain narrowness* and *translation invariance*.
+Translation invariance is guaranteed by construction of the IR (offsets are
+constants), so the checks here quantify narrowness and report the structural
+properties later stages rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.utils.geometry import Offset, Window
+from repro.frontend.kernel_ir import (
+    BinaryOp,
+    FieldRead,
+    KernelExpr,
+    KernelValidationError,
+    Select,
+    StencilKernel,
+    UnaryOp,
+)
+
+
+@dataclass
+class KernelProperties:
+    """Structural facts about a kernel needed by the rest of the flow."""
+
+    name: str
+    radius: int
+    footprint: Window
+    footprint_size: int
+    read_offsets: Tuple[Offset, ...]
+    state_fields: Tuple[str, ...]
+    readonly_fields: Tuple[str, ...]
+    components_per_field: Dict[str, int] = field(default_factory=dict)
+    operation_count: int = 0
+    has_division: bool = False
+    has_sqrt: bool = False
+    has_select: bool = False
+    is_domain_narrow: bool = True
+    is_translation_invariant: bool = True
+
+    @property
+    def total_state_components(self) -> int:
+        return sum(self.components_per_field[name] for name in self.state_fields)
+
+    def summary(self) -> str:
+        return (
+            f"kernel {self.name}: radius={self.radius}, "
+            f"footprint={self.footprint.width}x{self.footprint.height} "
+            f"({self.footprint_size} reads), ops={self.operation_count}, "
+            f"state fields={list(self.state_fields)}"
+        )
+
+
+# Thresholds for the narrowness heuristic.  A stencil reading more than this
+# many distinct neighbours, or reaching further than this radius, no longer
+# benefits from the cone decomposition (the halo overhead dominates).
+MAX_NARROW_RADIUS = 8
+MAX_NARROW_FOOTPRINT = 128
+
+
+def _expr_features(expr: KernelExpr) -> Tuple[bool, bool, bool]:
+    """Return (has_division, has_sqrt, has_select) for an expression tree."""
+    has_div = has_sqrt = has_select = False
+    stack: List[KernelExpr] = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, BinaryOp) and node.kind.value == "/":
+            has_div = True
+        if isinstance(node, UnaryOp) and node.kind.value == "sqrt":
+            has_sqrt = True
+        if isinstance(node, Select):
+            has_select = True
+        stack.extend(node.children())
+    return has_div, has_sqrt, has_select
+
+
+def validate_kernel(kernel: StencilKernel, strict: bool = True) -> KernelProperties:
+    """Check the ISL applicability conditions and compute kernel properties.
+
+    With ``strict=True`` (the default) a kernel that is not domain-narrow
+    raises :class:`KernelValidationError`; with ``strict=False`` the
+    properties are returned with the corresponding flag set to ``False`` so
+    callers can degrade gracefully (e.g. fall back to the frame-buffer
+    baseline).
+    """
+    offsets = sorted(kernel.read_offsets(), key=lambda o: (o.dy, o.dx))
+    radius = kernel.radius
+    footprint = kernel.footprint_window
+
+    components = {decl.name: decl.components for decl in kernel.fields}
+
+    has_div = has_sqrt = has_select = False
+    for update in kernel.updates:
+        div, sqrt_, select = _expr_features(update.expr)
+        has_div = has_div or div
+        has_sqrt = has_sqrt or sqrt_
+        has_select = has_select or select
+
+    narrow = (radius <= MAX_NARROW_RADIUS
+              and len(offsets) <= MAX_NARROW_FOOTPRINT)
+
+    # state fields must read themselves (otherwise nothing is iterative)
+    for name in kernel.state_field_names:
+        state_reads = kernel.read_offsets(of_fields=[name])
+        if not state_reads:
+            raise KernelValidationError(
+                f"state field {name!r} is updated but never read; the loop is "
+                "not iterative"
+            )
+
+    if strict and not narrow:
+        raise KernelValidationError(
+            f"kernel {kernel.name!r} is not domain-narrow: radius={radius}, "
+            f"footprint={len(offsets)} reads (limits: {MAX_NARROW_RADIUS}, "
+            f"{MAX_NARROW_FOOTPRINT})"
+        )
+
+    return KernelProperties(
+        name=kernel.name,
+        radius=radius,
+        footprint=footprint,
+        footprint_size=len(offsets),
+        read_offsets=tuple(offsets),
+        state_fields=tuple(kernel.state_field_names),
+        readonly_fields=tuple(kernel.readonly_field_names),
+        components_per_field=components,
+        operation_count=kernel.operation_count,
+        has_division=has_div,
+        has_sqrt=has_sqrt,
+        has_select=has_select,
+        is_domain_narrow=narrow,
+        is_translation_invariant=True,
+    )

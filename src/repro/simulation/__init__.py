@@ -1,0 +1,36 @@
+"""Simulation substrate: frames, memories, golden model, cone simulators.
+
+The paper evaluates real hardware; this reproduction replaces the board with
+(1) a functional simulator that executes the generated cone architecture tile
+by tile on synthetic frames and checks it against a software golden model,
+and (2) a transaction-level cycle simulator that counts compute and memory
+cycles of the tile cascade and cross-checks the analytic throughput model.
+"""
+
+from repro.simulation.frame import Frame, FrameSet, make_test_frame
+from repro.simulation.golden import GoldenExecutor
+from repro.simulation.memory import OffChipMemoryModel, OnChipBufferModel, TransferRecord
+from repro.simulation.cone_simulator import (
+    FunctionalConeSimulator,
+    TileCascadeCycleSimulator,
+    CycleSimulationResult,
+)
+from repro.simulation.framebuffer_baseline import (
+    FrameBufferArchitecture,
+    FrameBufferPerformance,
+)
+
+__all__ = [
+    "Frame",
+    "FrameSet",
+    "make_test_frame",
+    "GoldenExecutor",
+    "OffChipMemoryModel",
+    "OnChipBufferModel",
+    "TransferRecord",
+    "FunctionalConeSimulator",
+    "TileCascadeCycleSimulator",
+    "CycleSimulationResult",
+    "FrameBufferArchitecture",
+    "FrameBufferPerformance",
+]

@@ -1,0 +1,230 @@
+"""Simulators of the cone architecture.
+
+Two complementary views are provided:
+
+* :class:`FunctionalConeSimulator` — executes the architecture functionally,
+  tile by tile, either by numerically evaluating the symbolic cone expression
+  DAG (``mode="expression"``, the strongest check of the symbolic layer) or
+  by applying the kernel to each tile region with NumPy (``mode="region"``,
+  fast enough for large frames).  Outputs are compared against the
+  whole-frame golden model in the test suite.
+
+* :class:`TileCascadeCycleSimulator` — a transaction-level cycle counter that
+  walks the same tile cascade and accumulates compute and memory cycles; it
+  cross-checks the analytic throughput model of
+  :mod:`repro.estimation.throughput_model`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.architecture.template import ConeArchitecture
+from repro.estimation.throughput_model import ConePerformance, ThroughputModel
+from repro.frontend.kernel_ir import StencilKernel
+from repro.simulation.frame import Frame, FrameSet
+from repro.simulation.golden import GoldenExecutor
+from repro.simulation.memory import OffChipMemoryModel, OnChipBufferModel
+from repro.symbolic.cone_expression import ConeExpressionBuilder, ConeExpressions
+from repro.symbolic.executor import READONLY_LEVEL
+from repro.symbolic.expression import evaluate
+from repro.synth.fpga_device import FpgaDevice, VIRTEX6_XC6VLX760
+
+
+class FunctionalConeSimulator:
+    """Functional execution of a cone architecture over a frame."""
+
+    def __init__(self, kernel: StencilKernel,
+                 params: Optional[Mapping[str, float]] = None) -> None:
+        self.kernel = kernel
+        self.params = dict(params) if params else None
+        self.golden = GoldenExecutor(kernel, params)
+        self.radius = kernel.radius
+        self._cone_cache: Dict[Tuple[int, int], ConeExpressions] = {}
+        self._builder = ConeExpressionBuilder(kernel, params)
+
+    # ------------------------------------------------------------------ #
+
+    def _cone(self, window_side: int, depth: int) -> ConeExpressions:
+        key = (window_side, depth)
+        if key not in self._cone_cache:
+            self._cone_cache[key] = self._builder.build(window_side, depth)
+        return self._cone_cache[key]
+
+    def run(self, frames: FrameSet, iterations: int, window_side: int,
+            mode: str = "expression") -> FrameSet:
+        """Process ``frames`` tile by tile with cones of depth ``iterations``.
+
+        The output matches the golden model exactly on every element whose
+        dependency cone does not touch the frame border (the cone hardware
+        has no notion of boundary clamping; border tiles receive
+        clamp-to-edge level-0 data, which differs from clamping at every
+        iteration only in a border band of width ``radius * iterations``).
+        """
+        if mode not in ("expression", "region"):
+            raise ValueError("mode must be 'expression' or 'region'")
+        height, width = frames.height, frames.width
+        state_fields = self.kernel.state_field_names
+        result = frames.copy()
+        output_data = {name: frames[name].data.copy() for name in state_fields}
+
+        for tile_y in range(0, height, window_side):
+            for tile_x in range(0, width, window_side):
+                tile_h = min(window_side, height - tile_y)
+                tile_w = min(window_side, width - tile_x)
+                if mode == "expression":
+                    tile_values = self._evaluate_tile_expressions(
+                        frames, iterations, window_side, tile_y, tile_x)
+                else:
+                    tile_values = self._evaluate_tile_region(
+                        frames, iterations, window_side, tile_y, tile_x)
+                for (field, component), tile_array in tile_values.items():
+                    output_data[field][component,
+                                       tile_y:tile_y + tile_h,
+                                       tile_x:tile_x + tile_w] = \
+                        tile_array[:tile_h, :tile_w]
+
+        for name in state_fields:
+            result.replace(name, output_data[name])
+        return result
+
+    # ------------------------------------------------------------------ #
+
+    def _evaluate_tile_expressions(self, frames: FrameSet, depth: int,
+                                   window_side: int, tile_y: int, tile_x: int
+                                   ) -> Dict[Tuple[str, int], np.ndarray]:
+        """Evaluate the depth-``depth`` cone DAG for one output tile."""
+        cone = self._cone(window_side, depth)
+        bindings: Dict[Tuple[str, int, int, int, int], float] = {}
+        for symbol in cone.input_symbols:
+            frame = frames[symbol.field]
+            value = frame.clamped_read(symbol.component,
+                                       tile_y + symbol.offset.dy,
+                                       tile_x + symbol.offset.dx)
+            bindings[(symbol.field, symbol.component, symbol.offset.dx,
+                      symbol.offset.dy, symbol.level)] = value
+
+        cache: Dict[int, float] = {}
+        outputs: Dict[Tuple[str, int], np.ndarray] = {}
+        for (field, component, offset), expr in cone.outputs.items():
+            array = outputs.setdefault(
+                (field, component), np.zeros((window_side, window_side)))
+            array[offset.dy, offset.dx] = evaluate(expr, bindings, cache)
+        return outputs
+
+    def _evaluate_tile_region(self, frames: FrameSet, depth: int,
+                              window_side: int, tile_y: int, tile_x: int
+                              ) -> Dict[Tuple[str, int], np.ndarray]:
+        """Apply the kernel ``depth`` times to the tile's halo region (NumPy)."""
+        halo = self.radius * depth
+        y0, y1 = tile_y - halo, tile_y + window_side + halo
+        x0, x1 = tile_x - halo, tile_x + window_side + halo
+        height, width = frames.height, frames.width
+
+        region_frames = []
+        for name in frames.names():
+            frame = frames[name]
+            ys = np.clip(np.arange(y0, y1), 0, height - 1)
+            xs = np.clip(np.arange(x0, x1), 0, width - 1)
+            region = frame.data[:, ys[:, None], xs[None, :]]
+            region_frames.append(Frame(name, region))
+        region_set = FrameSet(region_frames)
+        region_set = self.golden.run(region_set, depth)
+
+        outputs: Dict[Tuple[str, int], np.ndarray] = {}
+        for name in self.kernel.state_field_names:
+            frame = region_set[name]
+            for component in range(frame.components):
+                outputs[(name, component)] = frame.data[
+                    component, halo:halo + window_side, halo:halo + window_side]
+        return outputs
+
+
+@dataclass(frozen=True)
+class CycleSimulationResult:
+    """Outcome of the transaction-level cycle simulation of one frame."""
+
+    architecture_label: str
+    tiles: int
+    total_cycles: float
+    compute_cycles: float
+    transfer_cycles: float
+    offchip_bytes: int
+    onchip_peak_bytes: int
+    seconds_per_frame: float
+    frames_per_second: float
+
+
+class TileCascadeCycleSimulator:
+    """Counts compute and memory cycles of the tile cascade, tile by tile."""
+
+    def __init__(self, device: FpgaDevice = VIRTEX6_XC6VLX760,
+                 bytes_per_element: int = 4,
+                 onchip_port_elements_per_cycle: int = 16,
+                 readonly_components: int = 0,
+                 tile_overhead_cycles: float = 24.0) -> None:
+        self.device = device
+        self.bytes_per_element = bytes_per_element
+        self.onchip_port_elements_per_cycle = onchip_port_elements_per_cycle
+        self.readonly_components = readonly_components
+        self.tile_overhead_cycles = tile_overhead_cycles
+
+    def simulate_frame(self, architecture: ConeArchitecture,
+                       cone_performance: Mapping[int, ConePerformance],
+                       frame_width: int, frame_height: int) -> CycleSimulationResult:
+        """Walk every tile of the frame and accumulate cycle counts."""
+        offchip = OffChipMemoryModel(self.device, self.bytes_per_element)
+        onchip = OnChipBufferModel(
+            capacity_bytes=self.device.onchip_memory_bytes,
+            elements_per_cycle=self.onchip_port_elements_per_cycle,
+            bytes_per_element=self.bytes_per_element)
+
+        window = architecture.window_side
+        tiles_x = math.ceil(frame_width / window)
+        tiles_y = math.ceil(frame_height / window)
+        executions_per_level = architecture.executions_per_level()
+        read_elements, written_elements = architecture.offchip_elements_per_tile(
+            readonly_components=self.readonly_components)
+
+        compute_cycles = 0.0
+        transfer_cycles = 0.0
+        total_cycles = 0.0
+        onchip.occupy(architecture.onchip_elements())
+
+        for _tile_index in range(tiles_x * tiles_y):
+            load = offchip.transfer(read_elements, "tile input region")
+            store = offchip.transfer(written_elements, "tile output window")
+            tile_transfer = load.cycles + store.cycles
+
+            tile_compute = 0.0
+            for level_index, depth in enumerate(architecture.level_depths):
+                perf = cone_performance[depth]
+                instances = architecture.cone_counts.get(depth, 1)
+                executions = executions_per_level[level_index]
+                serialised = math.ceil(executions / max(1, instances))
+                geometry = architecture.geometry(depth)
+                feed_cycles = onchip.access_cycles(geometry.input_elements)
+                tile_compute += perf.latency_cycles + serialised * max(
+                    feed_cycles, perf.initiation_interval)
+
+            compute_cycles += tile_compute
+            transfer_cycles += tile_transfer
+            total_cycles += max(tile_compute, tile_transfer) + self.tile_overhead_cycles
+
+        clock = self.device.typical_clock_hz
+        seconds = total_cycles / clock
+        return CycleSimulationResult(
+            architecture_label=architecture.label(),
+            tiles=tiles_x * tiles_y,
+            total_cycles=total_cycles,
+            compute_cycles=compute_cycles,
+            transfer_cycles=transfer_cycles,
+            offchip_bytes=offchip.total_bytes,
+            onchip_peak_bytes=onchip.peak_occupancy_bytes,
+            seconds_per_frame=seconds,
+            frames_per_second=1.0 / seconds if seconds > 0 else 0.0,
+        )

@@ -1,0 +1,155 @@
+"""Frame containers used by the golden model and the cone simulators.
+
+A :class:`Frame` is one named field of the algorithm state: a
+``(components, height, width)`` NumPy array.  A :class:`FrameSet` bundles all
+the fields a kernel carries (state fields plus read-only inputs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.frontend.kernel_ir import StencilKernel
+
+
+@dataclass
+class Frame:
+    """One field of the algorithm state."""
+
+    name: str
+    data: np.ndarray  # shape (components, height, width)
+
+    def __post_init__(self) -> None:
+        array = np.asarray(self.data, dtype=np.float64)
+        if array.ndim == 2:
+            array = array[np.newaxis, :, :]
+        if array.ndim != 3:
+            raise ValueError(
+                f"frame {self.name!r} must be 2D or 3D, got shape {array.shape}"
+            )
+        self.data = array
+
+    @property
+    def components(self) -> int:
+        return self.data.shape[0]
+
+    @property
+    def height(self) -> int:
+        return self.data.shape[1]
+
+    @property
+    def width(self) -> int:
+        return self.data.shape[2]
+
+    @property
+    def shape(self) -> Tuple[int, int, int]:
+        return self.data.shape  # type: ignore[return-value]
+
+    def component(self, index: int) -> np.ndarray:
+        return self.data[index]
+
+    def copy(self) -> "Frame":
+        return Frame(self.name, self.data.copy())
+
+    def clamped_read(self, component: int, y: int, x: int) -> float:
+        """Read with clamp-to-edge boundary handling."""
+        yy = min(max(y, 0), self.height - 1)
+        xx = min(max(x, 0), self.width - 1)
+        return float(self.data[component, yy, xx])
+
+    def padded(self, radius: int) -> np.ndarray:
+        """Return the frame padded by ``radius`` with edge replication."""
+        if radius == 0:
+            return self.data.copy()
+        return np.pad(self.data, ((0, 0), (radius, radius), (radius, radius)),
+                      mode="edge")
+
+
+class FrameSet:
+    """All fields the kernel operates on, keyed by field name."""
+
+    def __init__(self, frames: Iterable[Frame]) -> None:
+        self._frames: Dict[str, Frame] = {}
+        for frame in frames:
+            if frame.name in self._frames:
+                raise ValueError(f"duplicate frame {frame.name!r}")
+            self._frames[frame.name] = frame
+        if not self._frames:
+            raise ValueError("a frame set needs at least one frame")
+        shapes = {(f.height, f.width) for f in self._frames.values()}
+        if len(shapes) != 1:
+            raise ValueError(f"all frames must share the same spatial shape, got {shapes}")
+
+    def __getitem__(self, name: str) -> Frame:
+        return self._frames[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._frames
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(self._frames)
+
+    @property
+    def height(self) -> int:
+        return next(iter(self._frames.values())).height
+
+    @property
+    def width(self) -> int:
+        return next(iter(self._frames.values())).width
+
+    def copy(self) -> "FrameSet":
+        return FrameSet([f.copy() for f in self._frames.values()])
+
+    def replace(self, name: str, data: np.ndarray) -> None:
+        frame = self._frames[name]
+        if data.shape != frame.data.shape:
+            raise ValueError(
+                f"replacement for {name!r} has shape {data.shape}, "
+                f"expected {frame.data.shape}"
+            )
+        self._frames[name] = Frame(name, data)
+
+    @staticmethod
+    def for_kernel(kernel: StencilKernel, height: int, width: int,
+                   initial: Optional[Mapping[str, np.ndarray]] = None,
+                   seed: int = 0) -> "FrameSet":
+        """Build a frame set matching a kernel's field declarations.
+
+        Fields without supplied initial data get reproducible synthetic
+        content (smooth gradients plus pseudo-random texture), which is what
+        the benchmarks use in place of the paper's camera frames.
+        """
+        rng = np.random.default_rng(seed)
+        frames = []
+        for decl in kernel.fields:
+            if initial is not None and decl.name in initial:
+                data = np.asarray(initial[decl.name], dtype=np.float64)
+                if data.ndim == 2:
+                    data = data[np.newaxis, :, :]
+                if data.shape[0] != decl.components:
+                    raise ValueError(
+                        f"initial data for {decl.name!r} has {data.shape[0]} "
+                        f"components, expected {decl.components}"
+                    )
+            else:
+                data = make_test_frame(height, width, decl.components, rng)
+            frames.append(Frame(decl.name, data))
+        return FrameSet(frames)
+
+
+def make_test_frame(height: int, width: int, components: int = 1,
+                    rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Deterministic synthetic frame: gradients, a disc, and mild noise."""
+    rng = rng or np.random.default_rng(0)
+    ys, xs = np.mgrid[0:height, 0:width]
+    base = (0.4 * xs / max(width - 1, 1)
+            + 0.3 * ys / max(height - 1, 1))
+    cy, cx = height / 2.0, width / 2.0
+    radius = min(height, width) / 4.0
+    disc = (((ys - cy) ** 2 + (xs - cx) ** 2) <= radius ** 2).astype(np.float64)
+    noise = rng.normal(0.0, 0.02, size=(components, height, width))
+    frame = base[np.newaxis, :, :] + 0.3 * disc[np.newaxis, :, :] + noise
+    return frame.astype(np.float64)

@@ -1,0 +1,91 @@
+"""Memory hierarchy models used by the cycle-level simulator.
+
+Two actors matter to the cone architecture: the off-chip frame memory (DDR on
+the board), characterised by a sustained bandwidth, and the on-chip buffers
+(block RAM) holding the tile input region and the inter-level results,
+characterised by a per-cycle port width.  Both models simply account for the
+cycles and bytes of every transfer so the simulator and the analytic model
+can be cross-checked.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.synth.fpga_device import FpgaDevice
+
+
+@dataclass(frozen=True)
+class TransferRecord:
+    """One logical transfer (a tile load or store)."""
+
+    description: str
+    elements: int
+    bytes: int
+    cycles: float
+
+
+@dataclass
+class OffChipMemoryModel:
+    """Sustained-bandwidth model of the external frame memory."""
+
+    device: FpgaDevice
+    bytes_per_element: int = 4
+    records: List[TransferRecord] = field(default_factory=list)
+
+    @property
+    def bytes_per_cycle(self) -> float:
+        return (self.device.offchip_bandwidth_bytes_per_s
+                / self.device.typical_clock_hz)
+
+    def transfer(self, elements: int, description: str = "") -> TransferRecord:
+        """Account one transfer and return its cycle cost."""
+        byte_count = elements * self.bytes_per_element
+        cycles = byte_count / self.bytes_per_cycle
+        record = TransferRecord(description=description, elements=elements,
+                                bytes=byte_count, cycles=cycles)
+        self.records.append(record)
+        return record
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(r.bytes for r in self.records)
+
+    @property
+    def total_cycles(self) -> float:
+        return sum(r.cycles for r in self.records)
+
+    def reset(self) -> None:
+        self.records.clear()
+
+
+@dataclass
+class OnChipBufferModel:
+    """Port-limited model of the on-chip tile / inter-level buffers."""
+
+    capacity_bytes: int
+    elements_per_cycle: int = 16
+    bytes_per_element: int = 4
+    peak_occupancy_bytes: int = 0
+
+    def access_cycles(self, elements: int) -> float:
+        """Cycles to stream ``elements`` through the buffer ports."""
+        if elements <= 0:
+            return 0.0
+        return math.ceil(elements / self.elements_per_cycle)
+
+    def occupy(self, elements: int) -> None:
+        """Record the footprint of live data; raises if the buffer overflows."""
+        required = elements * self.bytes_per_element
+        self.peak_occupancy_bytes = max(self.peak_occupancy_bytes, required)
+        if required > self.capacity_bytes:
+            raise MemoryError(
+                f"on-chip buffer overflow: need {required} bytes, "
+                f"have {self.capacity_bytes}"
+            )
+
+    @property
+    def fits(self) -> bool:
+        return self.peak_occupancy_bytes <= self.capacity_bytes

@@ -1,0 +1,160 @@
+"""Multi-iteration cone expressions with enforced data reuse.
+
+A *cone* of depth ``m`` and output window ``W`` computes every element of
+``W`` at iteration ``i+m`` directly from iteration-``i`` elements.  The naive
+way to obtain its equations — substituting the single-iteration expression
+into itself ``m`` times — explodes exponentially; the paper avoids this by
+storing every intermediate element (and every repeated operation) in a
+register that is reused whenever the same value is needed again.
+
+Here that strategy is the memo table: each ``(field, component, offset,
+level)`` element is expanded exactly once, and the hash-consing expression
+builder collapses repeated operations.  The number of distinct DAG nodes is
+therefore exactly the number of registers of the generated VHDL — the
+``Reg_i`` quantity of Equation 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.utils.geometry import Offset, Window
+from repro.utils.validation import check_positive
+from repro.frontend.kernel_ir import StencilKernel
+from repro.symbolic.dependency import ConeDomain, analyze_footprint
+from repro.symbolic.executor import READONLY_LEVEL, SymbolicExecutor
+from repro.symbolic.expression import (
+    Expression,
+    ExpressionBuilder,
+    FieldSymbol,
+    OpKind,
+    collect_symbols,
+    count_nodes,
+    count_operations,
+)
+
+ElementKey = Tuple[str, int, int, int, int]  # field, component, dx, dy, level
+
+
+@dataclass
+class ConeExpressions:
+    """The symbolic result of unrolling a cone.
+
+    Attributes
+    ----------
+    outputs:
+        ``(field, component, offset) -> Expression`` for every element of the
+        output window at the final level.
+    register_count:
+        Number of distinct DAG nodes (operations + element values + constants)
+        reachable from the outputs — the registers of the generated VHDL.
+    element_register_count:
+        Number of distinct intermediate/output *element values* expanded
+        (the memo table size), excluding raw input symbols.
+    operation_counts:
+        Distinct operation nodes per operator kind after reuse.
+    input_symbols:
+        The distinct level-0 / read-only symbols the cone reads.
+    """
+
+    kernel_name: str
+    domain: ConeDomain
+    outputs: Dict[Tuple[str, int, Offset], Expression]
+    register_count: int
+    element_register_count: int
+    operation_counts: Dict[OpKind, int]
+    input_symbols: List[FieldSymbol]
+
+    @property
+    def operation_count(self) -> int:
+        return sum(self.operation_counts.values())
+
+    @property
+    def input_count(self) -> int:
+        return len(self.input_symbols)
+
+    @property
+    def output_count(self) -> int:
+        return len(self.outputs)
+
+    @property
+    def critical_path_depth(self) -> int:
+        """Longest operator chain from any input to any output (DAG depth)."""
+        return max((expr.depth for expr in self.outputs.values()), default=0)
+
+
+class ConeExpressionBuilder:
+    """Builds the reused-expression DAG of a cone for a given kernel."""
+
+    def __init__(self, kernel: StencilKernel,
+                 params: Optional[Mapping[str, float]] = None) -> None:
+        self.kernel = kernel
+        self.footprint = analyze_footprint(kernel)
+        self._params = dict(params) if params else None
+
+    # ------------------------------------------------------------------ #
+
+    def build(self, window_side: int, depth: int) -> ConeExpressions:
+        """Unroll ``depth`` iterations for a ``window_side x window_side`` output tile."""
+        check_positive("window_side", window_side)
+        check_positive("depth", depth)
+
+        builder = ExpressionBuilder()
+        executor = SymbolicExecutor(self.kernel, builder, self._params)
+        state_fields = list(self.kernel.state_field_names)
+        components = {decl.name: decl.components
+                      for decl in self.kernel.fields}
+
+        memo: Dict[ElementKey, Expression] = {}
+
+        def element(field: str, component: int, offset: Offset,
+                    level: int) -> Expression:
+            """Expression of ``field[component]`` at ``offset`` of iteration ``level``."""
+            if level == 0:
+                return builder.symbol(field, offset, component, level=0)
+            key = (field, component, offset.dx, offset.dy, level)
+            cached = memo.get(key)
+            if cached is not None:
+                return cached
+
+            def resolver(rfield: str, rcomponent: int, roffset: Offset) -> Expression:
+                return element(rfield, rcomponent, roffset, level - 1)
+
+            frame = executor.execute_once(target=offset, source_level=level - 1,
+                                          state_resolver=resolver)
+            for (ufield, ucomponent), expr in frame.expressions.items():
+                memo[(ufield, ucomponent, offset.dx, offset.dy, level)] = expr
+            result = memo.get(key)
+            if result is None:
+                raise KeyError(
+                    f"kernel {self.kernel.name!r} does not update "
+                    f"{field}[{component}]"
+                )
+            return result
+
+        window = Window.square(window_side)
+        outputs: Dict[Tuple[str, int, Offset], Expression] = {}
+        for field in state_fields:
+            for component in range(components[field]):
+                for offset in window.elements():
+                    outputs[(field, component, offset)] = element(
+                        field, component, offset, depth)
+
+        roots = list(outputs.values())
+        domain = ConeDomain(
+            output_window=window,
+            depth=depth,
+            radius=self.footprint.radius,
+            components=sum(components[f] for f in state_fields),
+        )
+        symbols = collect_symbols(roots)
+        return ConeExpressions(
+            kernel_name=self.kernel.name,
+            domain=domain,
+            outputs=outputs,
+            register_count=count_nodes(roots),
+            element_register_count=len(memo),
+            operation_counts=count_operations(roots),
+            input_symbols=symbols,
+        )

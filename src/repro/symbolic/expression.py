@@ -1,0 +1,450 @@
+"""Hash-consed symbolic expression DAG.
+
+Every expression node is interned in a per-builder table keyed by its
+structure, so two structurally identical sub-expressions are represented by
+the *same* object.  This is the data structure that makes the paper's
+register-reuse observation concrete: the number of distinct nodes in the DAG
+built for a cone is exactly the number of registers the generated VHDL needs,
+and it grows polynomially with the cone size instead of exponentially.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.utils.geometry import Offset
+
+
+class OpKind(enum.Enum):
+    """Arithmetic / logic operators supported by the stencil IR."""
+
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"
+    MIN = "min"
+    MAX = "max"
+    ABS = "abs"
+    NEG = "neg"
+    SQRT = "sqrt"
+    CMP_LT = "cmp_lt"
+    CMP_LE = "cmp_le"
+    CMP_GT = "cmp_gt"
+    CMP_GE = "cmp_ge"
+    CMP_EQ = "cmp_eq"
+    SELECT = "select"  # SELECT(cond, a, b) -> a if cond else b
+
+    @property
+    def arity(self) -> int:
+        if self in (OpKind.ABS, OpKind.NEG, OpKind.SQRT):
+            return 1
+        if self is OpKind.SELECT:
+            return 3
+        return 2
+
+    @property
+    def is_commutative(self) -> bool:
+        return self in (OpKind.ADD, OpKind.MUL, OpKind.MIN, OpKind.MAX,
+                        OpKind.CMP_EQ)
+
+    @property
+    def is_comparison(self) -> bool:
+        return self in (OpKind.CMP_LT, OpKind.CMP_LE, OpKind.CMP_GT,
+                        OpKind.CMP_GE, OpKind.CMP_EQ)
+
+
+class Expression:
+    """Base class of all DAG nodes.  Nodes are immutable once built."""
+
+    __slots__ = ("_id", "_depth")
+
+    def __init__(self, node_id: int, depth: int) -> None:
+        self._id = node_id
+        self._depth = depth
+
+    @property
+    def node_id(self) -> int:
+        """A builder-unique integer identifying this interned node."""
+        return self._id
+
+    @property
+    def depth(self) -> int:
+        """Height of the expression tree rooted at this node (leaves = 0)."""
+        return self._depth
+
+    def children(self) -> Tuple["Expression", ...]:
+        return ()
+
+    def __hash__(self) -> int:  # identity hashing: nodes are interned
+        return id(self)
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+
+class FieldSymbol(Expression):
+    """A leaf symbol: element ``field[component]`` at ``offset`` of a source frame.
+
+    The ``level`` tag records which iteration level of a cone the symbol lives
+    at; symbols created by the single-iteration symbolic execution always have
+    ``level == 0``.
+    """
+
+    __slots__ = ("field", "component", "offset", "level")
+
+    def __init__(self, node_id: int, field_name: str, component: int,
+                 offset: Offset, level: int = 0) -> None:
+        super().__init__(node_id, 0)
+        self.field = field_name
+        self.component = component
+        self.offset = offset
+        self.level = level
+
+    def __repr__(self) -> str:
+        comp = f".{self.component}" if self.component else ""
+        return f"{self.field}{comp}[{self.offset.dx:+d},{self.offset.dy:+d}]@L{self.level}"
+
+
+class Constant(Expression):
+    """A numeric literal (kernel coefficient, algorithm parameter)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, node_id: int, value: float) -> None:
+        super().__init__(node_id, 0)
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"const({self.value!r})"
+
+
+class Operation(Expression):
+    """An operator node applied to interned operand nodes."""
+
+    __slots__ = ("kind", "operands")
+
+    def __init__(self, node_id: int, kind: OpKind,
+                 operands: Tuple[Expression, ...]) -> None:
+        depth = 1 + max(op.depth for op in operands)
+        super().__init__(node_id, depth)
+        self.kind = kind
+        self.operands = operands
+
+    def children(self) -> Tuple[Expression, ...]:
+        return self.operands
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(o) for o in self.operands)
+        return f"{self.kind.value}({inner})"
+
+
+# Structural key types used by the interning table.
+_SymKey = Tuple[str, str, int, int, int, int]
+_ConstKey = Tuple[str, float]
+_OpKey = Tuple[str, str, Tuple[int, ...]]
+
+
+class ExpressionBuilder:
+    """Factory that interns every node it creates (hash-consing).
+
+    All expressions that take part in the same cone must be created through a
+    single builder so that structurally identical sub-expressions collapse to
+    one node — this is what the paper calls *register reuse*.
+
+    The builder also applies a small set of algebraic simplifications
+    (x*0, x*1, x+0, x-x, ...) that a VHDL generator would perform anyway and
+    that keep the register counts meaningful.
+    """
+
+    def __init__(self, simplify: bool = True) -> None:
+        self._simplify = simplify
+        self._symbols: Dict[_SymKey, FieldSymbol] = {}
+        self._constants: Dict[_ConstKey, Constant] = {}
+        self._operations: Dict[_OpKey, Operation] = {}
+        self._next_id = 0
+
+    # ------------------------------------------------------------------ #
+    # node constructors
+
+    def _new_id(self) -> int:
+        node_id = self._next_id
+        self._next_id += 1
+        return node_id
+
+    def symbol(self, field_name: str, offset: Offset, component: int = 0,
+               level: int = 0) -> FieldSymbol:
+        key = ("sym", field_name, component, offset.dx, offset.dy, level)
+        node = self._symbols.get(key)
+        if node is None:
+            node = FieldSymbol(self._new_id(), field_name, component, offset, level)
+            self._symbols[key] = node
+        return node
+
+    def constant(self, value: float) -> Constant:
+        value = float(value)
+        key = ("const", value)
+        node = self._constants.get(key)
+        if node is None:
+            node = Constant(self._new_id(), value)
+            self._constants[key] = node
+        return node
+
+    def operation(self, kind: OpKind, *operands: Expression) -> Expression:
+        if len(operands) != kind.arity:
+            raise ValueError(
+                f"{kind.value} expects {kind.arity} operands, got {len(operands)}"
+            )
+        if self._simplify:
+            simplified = self._try_simplify(kind, operands)
+            if simplified is not None:
+                return simplified
+        ordered = tuple(operands)
+        if kind.is_commutative:
+            ordered = tuple(sorted(ordered, key=lambda n: n.node_id))
+        key = ("op", kind.value, tuple(n.node_id for n in ordered))
+        node = self._operations.get(key)
+        if node is None:
+            node = Operation(self._new_id(), kind, ordered)
+            self._operations[key] = node
+        return node
+
+    # convenience wrappers -------------------------------------------------
+
+    def add(self, a: Expression, b: Expression) -> Expression:
+        return self.operation(OpKind.ADD, a, b)
+
+    def sub(self, a: Expression, b: Expression) -> Expression:
+        return self.operation(OpKind.SUB, a, b)
+
+    def mul(self, a: Expression, b: Expression) -> Expression:
+        return self.operation(OpKind.MUL, a, b)
+
+    def div(self, a: Expression, b: Expression) -> Expression:
+        return self.operation(OpKind.DIV, a, b)
+
+    def minimum(self, a: Expression, b: Expression) -> Expression:
+        return self.operation(OpKind.MIN, a, b)
+
+    def maximum(self, a: Expression, b: Expression) -> Expression:
+        return self.operation(OpKind.MAX, a, b)
+
+    def absolute(self, a: Expression) -> Expression:
+        return self.operation(OpKind.ABS, a)
+
+    def negate(self, a: Expression) -> Expression:
+        return self.operation(OpKind.NEG, a)
+
+    def sqrt(self, a: Expression) -> Expression:
+        return self.operation(OpKind.SQRT, a)
+
+    def select(self, cond: Expression, a: Expression, b: Expression) -> Expression:
+        return self.operation(OpKind.SELECT, cond, a, b)
+
+    # ------------------------------------------------------------------ #
+    # simplification
+
+    def _try_simplify(self, kind: OpKind,
+                      operands: Tuple[Expression, ...]) -> Optional[Expression]:
+        """Constant folding and identity elimination.
+
+        Returns ``None`` when no simplification applies, otherwise the
+        simplified (already interned) node.
+        """
+        if all(isinstance(o, Constant) for o in operands):
+            values = [o.value for o in operands]  # type: ignore[union-attr]
+            return self.constant(_fold_constant(kind, values))
+
+        if kind is OpKind.ADD:
+            a, b = operands
+            if isinstance(a, Constant) and a.value == 0.0:
+                return b
+            if isinstance(b, Constant) and b.value == 0.0:
+                return a
+        elif kind is OpKind.SUB:
+            a, b = operands
+            if isinstance(b, Constant) and b.value == 0.0:
+                return a
+            if a is b:
+                return self.constant(0.0)
+        elif kind is OpKind.MUL:
+            a, b = operands
+            for x, y in ((a, b), (b, a)):
+                if isinstance(x, Constant):
+                    if x.value == 0.0:
+                        return self.constant(0.0)
+                    if x.value == 1.0:
+                        return y
+        elif kind is OpKind.DIV:
+            a, b = operands
+            if isinstance(b, Constant):
+                if b.value == 1.0:
+                    return a
+                if b.value == 0.0:
+                    raise ZeroDivisionError("division by constant zero in kernel")
+            if isinstance(a, Constant) and a.value == 0.0:
+                return self.constant(0.0)
+        elif kind in (OpKind.MIN, OpKind.MAX):
+            a, b = operands
+            if a is b:
+                return a
+        elif kind is OpKind.SELECT:
+            cond, a, b = operands
+            if isinstance(cond, Constant):
+                return a if cond.value != 0.0 else b
+            if a is b:
+                return a
+        return None
+
+    # ------------------------------------------------------------------ #
+    # statistics
+
+    @property
+    def interned_node_count(self) -> int:
+        """Total number of distinct nodes created so far."""
+        return len(self._symbols) + len(self._constants) + len(self._operations)
+
+    @property
+    def interned_operation_count(self) -> int:
+        return len(self._operations)
+
+    @property
+    def interned_symbol_count(self) -> int:
+        return len(self._symbols)
+
+
+def _fold_constant(kind: OpKind, values: Sequence[float]) -> float:
+    """Evaluate an operator on constant operands."""
+    if kind is OpKind.ADD:
+        return values[0] + values[1]
+    if kind is OpKind.SUB:
+        return values[0] - values[1]
+    if kind is OpKind.MUL:
+        return values[0] * values[1]
+    if kind is OpKind.DIV:
+        return values[0] / values[1]
+    if kind is OpKind.MIN:
+        return min(values[0], values[1])
+    if kind is OpKind.MAX:
+        return max(values[0], values[1])
+    if kind is OpKind.ABS:
+        return abs(values[0])
+    if kind is OpKind.NEG:
+        return -values[0]
+    if kind is OpKind.SQRT:
+        return math.sqrt(values[0])
+    if kind is OpKind.CMP_LT:
+        return 1.0 if values[0] < values[1] else 0.0
+    if kind is OpKind.CMP_LE:
+        return 1.0 if values[0] <= values[1] else 0.0
+    if kind is OpKind.CMP_GT:
+        return 1.0 if values[0] > values[1] else 0.0
+    if kind is OpKind.CMP_GE:
+        return 1.0 if values[0] >= values[1] else 0.0
+    if kind is OpKind.CMP_EQ:
+        return 1.0 if values[0] == values[1] else 0.0
+    if kind is OpKind.SELECT:
+        return values[1] if values[0] != 0.0 else values[2]
+    raise ValueError(f"unknown operator {kind!r}")
+
+
+# ---------------------------------------------------------------------- #
+# DAG traversal helpers
+
+
+def _reachable(roots: Iterable[Expression]) -> List[Expression]:
+    """Return every node reachable from ``roots``, each exactly once."""
+    seen: Set[int] = set()
+    order: List[Expression] = []
+    stack: List[Expression] = list(roots)
+    while stack:
+        node = stack.pop()
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
+        order.append(node)
+        stack.extend(node.children())
+    return order
+
+
+def count_nodes(roots: Iterable[Expression]) -> int:
+    """Number of distinct DAG nodes reachable from ``roots``.
+
+    With register reuse enforced, this is the number of registers the cone
+    needs (the ``Reg_i`` quantity of Equation 1 in the paper).
+    """
+    return len(_reachable(roots))
+
+
+def count_operations(roots: Iterable[Expression]) -> Dict[OpKind, int]:
+    """Count distinct operation nodes per operator kind."""
+    counts: Dict[OpKind, int] = {}
+    for node in _reachable(roots):
+        if isinstance(node, Operation):
+            counts[node.kind] = counts.get(node.kind, 0) + 1
+    return counts
+
+
+def collect_symbols(roots: Iterable[Expression]) -> List[FieldSymbol]:
+    """Return every distinct leaf symbol reachable from ``roots``."""
+    return [n for n in _reachable(roots) if isinstance(n, FieldSymbol)]
+
+
+def evaluate(root: Expression,
+             bindings: Mapping[Tuple[str, int, int, int, int], float],
+             cache: Optional[Dict[int, float]] = None) -> float:
+    """Numerically evaluate an expression.
+
+    ``bindings`` maps ``(field, component, dx, dy, level)`` to a value.  Used
+    by the functional cone simulator and by tests that cross-check symbolic
+    execution against direct software execution of the kernel.
+    """
+    if cache is None:
+        cache = {}
+
+    def visit(node: Expression) -> float:
+        cached = cache.get(id(node))
+        if cached is not None:
+            return cached
+        if isinstance(node, Constant):
+            value = node.value
+        elif isinstance(node, FieldSymbol):
+            key = (node.field, node.component, node.offset.dx, node.offset.dy,
+                   node.level)
+            if key not in bindings:
+                raise KeyError(f"no binding for symbol {node!r}")
+            value = bindings[key]
+        elif isinstance(node, Operation):
+            if node.kind is OpKind.SELECT:
+                # short-circuit: the unselected branch is hardware don't-care,
+                # so numeric evaluation must not fault on it (e.g. sqrt of a
+                # negative value on the not-taken path).
+                condition = visit(node.operands[0])
+                value = visit(node.operands[1] if condition != 0.0
+                              else node.operands[2])
+            else:
+                operand_values = [visit(op) for op in node.operands]
+                value = _fold_constant(node.kind, operand_values)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown expression node {node!r}")
+        cache[id(node)] = value
+        return value
+
+    return visit(root)
+
+
+def expression_to_string(root: Expression, max_depth: int = 12) -> str:
+    """Render an expression as a human-readable string (tests and debugging)."""
+
+    def visit(node: Expression, depth: int) -> str:
+        if depth > max_depth:
+            return "..."
+        if isinstance(node, (Constant, FieldSymbol)):
+            return repr(node)
+        assert isinstance(node, Operation)
+        inner = ", ".join(visit(o, depth + 1) for o in node.operands)
+        return f"{node.kind.value}({inner})"
+
+    return visit(root, 0)

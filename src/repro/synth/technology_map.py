@@ -1,0 +1,90 @@
+"""Technology mapping: from DFG operations to FPGA primitives.
+
+This is the first half of the synthesis simulator: every operation node is
+assigned the LUT/FF/DSP cost of its operator (distinguishing constant-operand
+variants), every datapath register costs flip-flops plus packing LUTs, and
+input/output windows are accounted as register banks.  The result is the
+*pre-optimisation* resource usage; the logic-reuse pass then applies the
+sharing a real synthesis tool performs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.ir.dfg import DataflowGraph, NodeKind
+from repro.ir.operators import (
+    DataFormat,
+    OperatorLibrary,
+    ResourceVector,
+    default_library,
+)
+from repro.symbolic.expression import OpKind
+
+
+@dataclass
+class MappedDesign:
+    """Outcome of technology mapping one datapath."""
+
+    name: str
+    data_format: DataFormat
+    operation_resources: ResourceVector
+    register_resources: ResourceVector
+    io_resources: ResourceVector
+    register_count: int
+    operation_count: int
+    dsp_count: float
+    per_op_breakdown: Dict[OpKind, ResourceVector] = field(default_factory=dict)
+
+    @property
+    def total(self) -> ResourceVector:
+        return self.operation_resources + self.register_resources + self.io_resources
+
+
+class TechnologyMapper:
+    """Maps a :class:`DataflowGraph` onto FPGA primitives."""
+
+    def __init__(self, library: Optional[OperatorLibrary] = None) -> None:
+        self.library = library or default_library()
+
+    def map(self, graph: DataflowGraph,
+            pipeline_register_count: int = 0) -> MappedDesign:
+        """Return the pre-optimisation resource usage of ``graph``.
+
+        ``pipeline_register_count`` adds the registers inserted by the
+        pipeline schedule on top of the data-reuse registers implied by the
+        graph structure.
+        """
+        op_total = ResourceVector()
+        per_op: Dict[OpKind, ResourceVector] = {}
+        dsp_count = 0.0
+
+        for node in graph.operation_nodes:
+            assert node.op_kind is not None
+            constant = node.has_constant_operand(graph)
+            spec = self.library.spec_for(node.op_kind, constant_operand=constant)
+            op_total = op_total + spec.resources
+            dsp_count += spec.resources.dsps
+            per_op[node.op_kind] = per_op.get(node.op_kind, ResourceVector()) + spec.resources
+
+        register_cost = self.library.register_resources
+        # Data-reuse registers: one per operation result plus one per input
+        # element latched from the previous level, plus pipeline registers.
+        register_count = graph.register_count + pipeline_register_count
+        register_total = register_cost.scale(register_count)
+
+        # I/O: output elements are driven through output registers as well.
+        io_total = register_cost.scale(len(graph.output_ids))
+
+        return MappedDesign(
+            name=graph.name,
+            data_format=self.library.data_format,
+            operation_resources=op_total,
+            register_resources=register_total,
+            io_resources=io_total,
+            register_count=register_count,
+            operation_count=graph.operation_count(),
+            dsp_count=dsp_count,
+            per_op_breakdown=per_op,
+        )

@@ -1,0 +1,28 @@
+"""Shared utilities: geometry primitives, validation helpers, table formatting.
+
+These are deliberately dependency-free (stdlib only) so every other subpackage
+can import them without cycles.
+"""
+
+from repro.utils.geometry import Offset, Window, bounding_window, window_union
+from repro.utils.validation import (
+    check_positive,
+    check_non_negative,
+    check_in_range,
+    check_type,
+)
+from repro.utils.tables import Table, format_float, format_si
+
+__all__ = [
+    "Offset",
+    "Window",
+    "bounding_window",
+    "window_union",
+    "check_positive",
+    "check_non_negative",
+    "check_in_range",
+    "check_type",
+    "Table",
+    "format_float",
+    "format_si",
+]

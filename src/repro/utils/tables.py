@@ -1,0 +1,70 @@
+"""Plain-text table rendering used by the reporting layer and the benchmarks.
+
+The benchmark harness prints, for every figure of the paper, the series the
+figure plots.  A tiny table formatter keeps that output readable without
+pulling in any third-party dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_float(value: float, digits: int = 4) -> str:
+    """Format a float compactly, switching to scientific notation when tiny."""
+    if value == 0:
+        return "0"
+    if abs(value) >= 10 ** (-digits) and abs(value) < 10 ** 7:
+        return f"{value:.{digits}g}"
+    return f"{value:.{digits}e}"
+
+
+def format_si(value: float, unit: str = "") -> str:
+    """Format a value with an SI prefix (k, M, G) for readability."""
+    for threshold, prefix in ((1e9, "G"), (1e6, "M"), (1e3, "k")):
+        if abs(value) >= threshold:
+            return f"{value / threshold:.3g}{prefix}{unit}"
+    return f"{value:.3g}{unit}"
+
+
+class Table:
+    """A minimal column-aligned text table."""
+
+    def __init__(self, columns: Sequence[str], title: str = "") -> None:
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        self.title = title
+        self.columns: List[str] = list(columns)
+        self.rows: List[List[str]] = []
+
+    def add_row(self, values: Iterable[object]) -> None:
+        row = [self._render(v) for v in values]
+        if len(row) != len(self.columns):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append(row)
+
+    @staticmethod
+    def _render(value: object) -> str:
+        if isinstance(value, float):
+            return format_float(value)
+        return str(value)
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        header = "  ".join(c.ljust(widths[i]) for i, c in enumerate(self.columns))
+        lines.append(header)
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

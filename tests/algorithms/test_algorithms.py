@@ -1,0 +1,160 @@
+"""Unit tests for the case-study algorithm definitions and the registry."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    ALGORITHMS,
+    get_algorithm,
+    list_algorithms,
+    convolution_3x3_kernel,
+)
+from repro.algorithms.gaussian import CENTER_COEFF, CORNER_COEFF, EDGE_COEFF
+from repro.frontend.extractor import extract_kernel_from_c
+from repro.frontend.semantic import validate_kernel
+from repro.simulation.frame import FrameSet
+from repro.simulation.golden import GoldenExecutor
+
+
+class TestRegistry:
+    def test_paper_case_studies_registered(self):
+        assert "blur" in ALGORITHMS
+        assert "chamb" in ALGORITHMS
+        assert get_algorithm("blur").paper_section == "4.1"
+        assert get_algorithm("chamb").paper_section == "4.2"
+
+    def test_unknown_algorithm_raises(self):
+        with pytest.raises(KeyError):
+            get_algorithm("does-not-exist")
+
+    def test_list_algorithms_sorted(self):
+        names = list_algorithms()
+        assert names == sorted(names)
+        assert len(names) >= 6
+
+    def test_every_spec_builds_a_valid_kernel(self):
+        for name in list_algorithms():
+            spec = get_algorithm(name)
+            kernel = spec.kernel()
+            properties = validate_kernel(kernel)
+            assert properties.is_domain_narrow
+            assert spec.default_iterations >= 1
+
+    def test_c_sources_extract_when_present(self):
+        for name in list_algorithms():
+            spec = get_algorithm(name)
+            if spec.c_source is None:
+                continue
+            kernel = extract_kernel_from_c(spec.c_source)
+            assert kernel.radius == spec.kernel().radius
+
+
+class TestGaussianCoefficients:
+    def test_kernel_is_normalised(self):
+        total = CENTER_COEFF + 4 * EDGE_COEFF + 4 * CORNER_COEFF
+        assert total == pytest.approx(1.0)
+
+    def test_dsl_and_c_versions_produce_same_result(self):
+        spec = get_algorithm("blur")
+        dsl_kernel = spec.kernel()
+        c_kernel = extract_kernel_from_c(spec.c_source)
+        frames = FrameSet.for_kernel(dsl_kernel, 12, 12, seed=21)
+        a = GoldenExecutor(dsl_kernel).run(frames, 3)["f"].data
+        b = GoldenExecutor(c_kernel).run(
+            FrameSet.for_kernel(c_kernel, 12, 12, seed=21), 3)["f"].data
+        np.testing.assert_allclose(a, b)
+
+
+class TestChambolle:
+    def test_dsl_and_c_versions_agree(self):
+        spec = get_algorithm("chamb")
+        dsl_kernel = spec.kernel()
+        c_kernel = extract_kernel_from_c(spec.c_source)
+        rng = np.random.default_rng(22)
+        initial = {"p": rng.normal(0, 0.2, (2, 10, 10)),
+                   "g": rng.random((10, 10))}
+        frames_dsl = FrameSet.for_kernel(dsl_kernel, 10, 10, initial=initial)
+        frames_c = FrameSet.for_kernel(c_kernel, 10, 10, initial=initial)
+        a = GoldenExecutor(dsl_kernel).run(frames_dsl, 2)["p"].data
+        b = GoldenExecutor(c_kernel).run(frames_c, 2)["p"].data
+        np.testing.assert_allclose(a, b, rtol=1e-9)
+
+    def test_denoising_effect_on_dual_divergence(self):
+        """After Chambolle iterations the reconstruction u = g - lambda*div(p)
+        is smoother than the noisy observation."""
+        kernel = get_algorithm("chamb").kernel()
+        rng = np.random.default_rng(0)
+        clean = np.zeros((24, 24))
+        clean[:, 12:] = 1.0
+        noisy = clean + rng.normal(0, 0.15, clean.shape)
+        frames = FrameSet.for_kernel(kernel, 24, 24,
+                                     initial={"g": noisy,
+                                              "p": np.zeros((2, 24, 24))})
+        result = GoldenExecutor(kernel).run(frames, 30)
+        p = result["p"].data
+        div = np.zeros_like(noisy)
+        div += p[0] - np.roll(p[0], 1, axis=1)
+        div += p[1] - np.roll(p[1], 1, axis=0)
+        reconstruction = noisy - 0.1 * div
+        clean_grad = np.abs(np.diff(reconstruction, axis=0)).sum()
+        noisy_grad = np.abs(np.diff(noisy, axis=0)).sum()
+        assert clean_grad < noisy_grad
+
+
+class TestConvolution:
+    def test_requires_nine_coefficients(self):
+        with pytest.raises(ValueError):
+            convolution_3x3_kernel(coefficients=(1.0, 2.0))
+
+    def test_custom_coefficients_used(self):
+        identity = convolution_3x3_kernel(
+            coefficients=(0, 0, 0, 0, 1.0, 0, 0, 0, 0), name="ident")
+        frames = FrameSet.for_kernel(identity, 8, 8, seed=23)
+        result = GoldenExecutor(identity).run(frames, 4)
+        np.testing.assert_allclose(result["f"].data, frames["f"].data)
+
+
+class TestMorphology:
+    def test_iterated_erosion_equals_large_structuring_element(self):
+        kernel = get_algorithm("erode").kernel()
+        frames = FrameSet.for_kernel(kernel, 16, 16, seed=24)
+        result = GoldenExecutor(kernel).run(frames, 2)["f"].data[0]
+        data = frames["f"].data[0]
+        # two 3x3 erosions == one 5x5 erosion (checked at an interior pixel)
+        y, x = 8, 8
+        assert result[y, x] == pytest.approx(data[y - 2:y + 3, x - 2:x + 3].min())
+
+    def test_dilation_is_dual_of_erosion(self):
+        erode = get_algorithm("erode").kernel()
+        dilate = get_algorithm("dilate").kernel()
+        frames = FrameSet.for_kernel(erode, 12, 12, seed=25)
+        neg = FrameSet.for_kernel(dilate, 12, 12,
+                                  initial={"f": -frames["f"].data[0]})
+        eroded = GoldenExecutor(erode).run(frames, 2)["f"].data
+        dilated_neg = GoldenExecutor(dilate).run(neg, 2)["f"].data
+        np.testing.assert_allclose(eroded, -dilated_neg)
+
+
+class TestJacobiAndHeat:
+    def test_jacobi_converges_towards_harmonic_interior(self):
+        kernel = get_algorithm("jacobi").kernel()
+        height = width = 16
+        u0 = np.zeros((height, width))
+        u0[0, :] = 1.0   # boundary condition encoded in the initial frame edge
+        frames = FrameSet.for_kernel(kernel, height, width,
+                                     initial={"u": u0,
+                                              "rhs": np.zeros((height, width))})
+        result = GoldenExecutor(kernel).run(frames, 50)["u"].data[0]
+        residual_initial = np.abs(np.diff(u0, 2, axis=0)).mean()
+        residual_final = np.abs(np.diff(result, 2, axis=0)).mean()
+        assert residual_final < residual_initial
+
+    def test_heat_diffusion_reduces_peak(self):
+        kernel = get_algorithm("heat").kernel()
+        t0 = np.zeros((16, 16))
+        t0[8, 8] = 10.0
+        frames = FrameSet.for_kernel(kernel, 16, 16, initial={"t": t0})
+        result = GoldenExecutor(kernel).run(frames, 10)["t"].data[0]
+        assert result[8, 8] < 10.0
+        assert result.max() < 10.0
+        assert result[8, 8] == result.max()

@@ -1,0 +1,85 @@
+"""Unit tests for architecture-space enumeration."""
+
+import pytest
+
+from repro.architecture.enumeration import (
+    ArchitectureSpace,
+    enumerate_architectures,
+    enumerate_level_splits,
+    single_depth_split,
+)
+
+
+class TestSingleDepthSplit:
+    def test_exact_divisor(self):
+        assert single_depth_split(10, 5) == [5, 5]
+        assert single_depth_split(10, 2) == [2, 2, 2, 2, 2]
+        assert single_depth_split(10, 1) == [1] * 10
+
+    def test_remainder_level_added(self):
+        """Non-divisor depths need an extra smaller level (Figure 7 discussion)."""
+        assert single_depth_split(10, 3) == [3, 3, 3, 1]
+        assert single_depth_split(10, 4) == [4, 4, 2]
+
+    def test_depth_larger_than_total(self):
+        assert single_depth_split(3, 5) == [3]
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            single_depth_split(0, 1)
+        with pytest.raises(ValueError):
+            single_depth_split(5, 0)
+
+
+class TestLevelSplits:
+    def test_uniform_splits_cover_each_depth(self):
+        splits = enumerate_level_splits(10, max_depth=5)
+        assert [5, 5] in splits
+        assert [3, 3, 3, 1] in splits
+        assert len(splits) == 5
+
+    def test_non_uniform_enumeration_is_complete_for_small_counts(self):
+        splits = enumerate_level_splits(3, uniform_only=False)
+        assert sorted(splits) == sorted([[1, 1, 1], [1, 2], [2, 1], [3]])
+
+    def test_max_depth_respected(self):
+        for split in enumerate_level_splits(10, max_depth=3):
+            assert max(split) <= 3
+
+
+class TestArchitectureSpace:
+    def make_space(self, **overrides):
+        kwargs = dict(kernel_name="blur", total_iterations=10, radius=1,
+                      window_sides=(2, 4), max_depth=3, max_cones_per_depth=4)
+        kwargs.update(overrides)
+        return ArchitectureSpace(**kwargs)
+
+    def test_distinct_shapes(self):
+        space = self.make_space()
+        shapes = space.distinct_shapes()
+        assert (2, 1) in shapes and (4, 3) in shapes
+        assert all(depth <= 3 for _, depth in shapes)
+
+    def test_architecture_count_matches_size(self):
+        space = self.make_space()
+        architectures = list(space.architectures())
+        assert len(architectures) == space.size()
+
+    def test_every_architecture_is_feasible_and_right_iterations(self):
+        for architecture in self.make_space().architectures():
+            assert architecture.total_iterations == 10
+            architecture.validate()
+
+    def test_primary_depth_scales_with_count_choice(self):
+        space = self.make_space()
+        architectures = list(space.architectures(cone_count_choices=[3]))
+        for architecture in architectures:
+            primary = max(architecture.distinct_depths)
+            assert architecture.cone_counts[primary] == 3
+
+    def test_convenience_wrapper(self):
+        architectures = enumerate_architectures("blur", 6, radius=1,
+                                                window_sides=(3,), max_depth=2,
+                                                max_cones_per_depth=2)
+        assert all(a.window_side == 3 for a in architectures)
+        assert len(architectures) == 4

@@ -1,0 +1,75 @@
+"""Unit tests for the commercial-HLS tool model (Section 4.3)."""
+
+import pytest
+
+from repro.baselines.commercial_hls import (
+    CommercialHlsTool,
+    HlsConfiguration,
+    HlsStatus,
+)
+from repro.synth.fpga_device import VIRTEX6_XC6VLX760
+
+
+@pytest.fixture(scope="module")
+def tool(igf_kernel):
+    return CommercialHlsTool(igf_kernel, VIRTEX6_XC6VLX760)
+
+
+class TestDirectiveFailures:
+    def test_loop_merge_fails_on_inter_iteration_dependencies(self, tool):
+        result = tool.run(HlsConfiguration(loop_merge=True), 1024, 768, 10)
+        assert result.status is HlsStatus.LOOP_MERGE_FAILED
+        assert not result.succeeded
+        assert "depend" in result.detail
+
+    def test_pipeline_plus_flatten_exhausts_host_memory(self, tool):
+        result = tool.run(HlsConfiguration(pipeline=True, loop_flatten=True,
+                                           array_partition_factor=16),
+                          1024, 768, 10)
+        assert result.status is HlsStatus.OUT_OF_MEMORY
+        assert "GB" in result.detail
+
+    def test_pipeline_plus_flatten_ok_on_tiny_frames(self, tool):
+        result = tool.run(HlsConfiguration(pipeline=True, loop_flatten=True),
+                          64, 64, 4)
+        assert result.succeeded
+
+
+class TestFeasibleConfigurations:
+    def test_unpipelined_baseline_is_very_slow(self, tool):
+        result = tool.run(HlsConfiguration(), 1024, 768, 10)
+        assert result.succeeded
+        assert result.frames_per_second < 0.5
+
+    def test_pipelining_and_partitioning_help(self, tool):
+        slow = tool.run(HlsConfiguration(), 1024, 768, 10)
+        fast = tool.run(HlsConfiguration(unroll_factor=8, pipeline=True,
+                                         array_partition_factor=8), 1024, 768, 10)
+        assert fast.frames_per_second > slow.frames_per_second
+
+    def test_best_configuration_matches_paper_order_of_magnitude(self, tool):
+        """The paper reports 0.14 fps for the best Vivado HLS configuration."""
+        best = tool.best_configuration(1024, 768, 10)
+        assert best.succeeded
+        assert 0.02 < best.frames_per_second < 1.5
+
+    def test_configuration_description(self):
+        config = HlsConfiguration(unroll_factor=4, pipeline=True,
+                                  array_partition_factor=2)
+        text = config.describe()
+        assert "unroll=4" in text and "pipeline" in text and "partition=2" in text
+
+
+class TestAgainstConeFlow:
+    def test_cone_flow_is_orders_of_magnitude_faster(self, tool, igf_kernel):
+        """Headline claim of the paper: orders of magnitude over commercial HLS."""
+        from repro.dse.explorer import DesignSpaceExplorer
+        from repro.ir.operators import DataFormat
+
+        explorer = DesignSpaceExplorer(igf_kernel, data_format=DataFormat.FIXED16,
+                                       window_sides=(6, 8), max_depth=2,
+                                       max_cones_per_depth=8)
+        exploration = explorer.explore(10, 1024, 768)
+        best_cone = exploration.best_fitting_point()
+        best_hls = tool.best_configuration(1024, 768, 10)
+        assert best_cone.frames_per_second > 100 * best_hls.frames_per_second

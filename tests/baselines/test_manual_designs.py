@@ -1,0 +1,44 @@
+"""Unit tests for the literature reference designs."""
+
+import pytest
+
+from repro.baselines.manual_designs import LITERATURE_DESIGNS, literature_design
+
+
+def test_paper_comparison_points_present():
+    assert "cope_convolution" in LITERATURE_DESIGNS
+    assert "akin_chambolle" in LITERATURE_DESIGNS
+    assert "paper_cone_igf" in LITERATURE_DESIGNS
+    assert "paper_cone_chambolle" in LITERATURE_DESIGNS
+
+
+def test_published_numbers_from_section_4():
+    assert literature_design("cope_convolution").fps((1024, 768)) == 13.5
+    assert literature_design("akin_chambolle").fps((1024, 768)) == 38.0
+    assert literature_design("akin_chambolle").fps((512, 512)) == 99.0
+    assert literature_design("paper_cone_igf").fps((1024, 768)) == 110.0
+    assert literature_design("paper_cone_chambolle").fps((512, 512)) == 72.0
+
+
+def test_unknown_lookup_raises():
+    with pytest.raises(KeyError):
+        literature_design("nonexistent")
+    with pytest.raises(KeyError):
+        literature_design("cope_convolution").fps((640, 480))
+
+
+def test_paper_speedup_claims_are_encoded():
+    """Section 4.1: the automatic flow beats the manual convolution design."""
+    cope = literature_design("cope_convolution")
+    ours = literature_design("paper_cone_igf")
+    assert ours.fps((1024, 768)) > 5 * cope.fps((1024, 768))
+    assert ours.fps((1920, 1080)) > 5 * cope.fps((1920, 1080))
+
+
+def test_chambolle_comparison_is_same_order_of_magnitude():
+    """Section 4.2: automatic results are comparable to the hand design."""
+    manual = literature_design("akin_chambolle")
+    ours = literature_design("paper_cone_chambolle")
+    for frame in ((1024, 768), (512, 512)):
+        ratio = ours.fps(frame) / manual.fps(frame)
+        assert 0.3 < ratio < 1.5

@@ -1,0 +1,77 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import get_algorithm
+from repro.dse.explorer import DesignSpaceExplorer
+from repro.frontend.dsl import stencil_kernel
+from repro.ir.operators import DataFormat
+from repro.synth.fpga_device import VIRTEX6_XC6VLX760, VIRTEX2P_XC2VP30
+
+
+@pytest.fixture(scope="session")
+def igf_kernel():
+    """The iterative Gaussian filter kernel (paper case study 4.1)."""
+    return get_algorithm("blur").kernel()
+
+
+@pytest.fixture(scope="session")
+def chambolle_kernel():
+    """The Chambolle total-variation kernel (paper case study 4.2)."""
+    return get_algorithm("chamb").kernel()
+
+
+@pytest.fixture(scope="session")
+def jacobi_kernel():
+    return get_algorithm("jacobi").kernel()
+
+
+@pytest.fixture(scope="session")
+def heat_kernel():
+    return get_algorithm("heat").kernel()
+
+
+@pytest.fixture(scope="session")
+def erosion_kernel():
+    return get_algorithm("erode").kernel()
+
+
+@pytest.fixture(scope="session")
+def virtex6():
+    return VIRTEX6_XC6VLX760
+
+
+@pytest.fixture(scope="session")
+def virtex2pro():
+    return VIRTEX2P_XC2VP30
+
+
+@pytest.fixture(scope="session")
+def small_igf_exploration(igf_kernel):
+    """A reduced IGF exploration shared by DSE/flow tests (fast: small space)."""
+    explorer = DesignSpaceExplorer(
+        igf_kernel,
+        data_format=DataFormat.FIXED16,
+        window_sides=(1, 2, 3, 4),
+        max_depth=3,
+        max_cones_per_depth=4,
+        synthesize_all=True,
+    )
+    return explorer.explore(total_iterations=6, frame_width=128, frame_height=96)
+
+
+def simple_axpy_kernel():
+    """A minimal 5-point kernel used by unit tests that need a tiny kernel."""
+
+    def define(k):
+        f = k.field("f")
+        k.update(f, 0.5 * f(0, 0) + 0.125 * (f(1, 0) + f(-1, 0) + f(0, 1) + f(0, -1)))
+
+    return stencil_kernel("axpy5", define)
+
+
+@pytest.fixture()
+def tiny_kernel():
+    return simple_axpy_kernel()

@@ -1,0 +1,104 @@
+"""Unit tests for Pareto extraction, design points and constraints."""
+
+import pytest
+
+from repro.architecture.template import ConeArchitecture
+from repro.dse.constraints import DseConstraints
+from repro.dse.design_point import DesignPoint
+from repro.dse.pareto import is_dominated, pareto_front
+from repro.estimation.throughput_model import ArchitecturePerformance
+
+
+def make_point(area, spf, fits=True, window=3, depth=2):
+    architecture = ConeArchitecture(
+        kernel_name="blur", window_side=window, level_depths=[depth],
+        cone_counts={depth: 1}, radius=1)
+    performance = ArchitecturePerformance(
+        architecture_label=architecture.label(),
+        clock_hz=1e8,
+        tiles_per_frame=100,
+        compute_cycles_per_tile=10,
+        transfer_cycles_per_tile=5,
+        cycles_per_tile=10,
+        seconds_per_frame=spf,
+        frames_per_second=1.0 / spf,
+        offchip_bytes_per_frame=1000,
+        compute_bound=True,
+    )
+    return DesignPoint(architecture=architecture, area_luts=area,
+                       area_estimated=True, performance=performance,
+                       fits_device=fits)
+
+
+class TestDesignPoint:
+    def test_derived_properties(self):
+        point = make_point(25_000, 0.02, window=4, depth=3)
+        assert point.kilo_luts == pytest.approx(25.0)
+        assert point.frames_per_second == pytest.approx(50.0)
+        assert point.window_area == 16
+        assert point.primary_depth == 3
+        assert point.cone_count == 1
+        assert "kLUT" in point.summary()
+
+    def test_summary_flags_oversized_designs(self):
+        point = make_point(1e6, 0.01, fits=False)
+        assert "exceeds device" in point.summary()
+
+
+class TestDomination:
+    def test_strict_domination(self):
+        good = make_point(100, 1.0)
+        bad = make_point(200, 2.0)
+        assert is_dominated(bad, good)
+        assert not is_dominated(good, bad)
+
+    def test_trade_off_points_do_not_dominate(self):
+        small_slow = make_point(100, 2.0)
+        big_fast = make_point(200, 1.0)
+        assert not is_dominated(small_slow, big_fast)
+        assert not is_dominated(big_fast, small_slow)
+
+    def test_equal_points_do_not_dominate(self):
+        a = make_point(100, 1.0)
+        b = make_point(100, 1.0)
+        assert not is_dominated(a, b)
+
+
+class TestParetoFront:
+    def test_front_is_sorted_and_non_dominated(self):
+        points = [make_point(a, s) for a, s in
+                  [(100, 5.0), (150, 3.0), (200, 4.0), (300, 1.0), (400, 1.0)]]
+        front = pareto_front(points)
+        areas = [p.area_luts for p in front]
+        times = [p.seconds_per_frame for p in front]
+        assert areas == sorted(areas)
+        assert times == sorted(times, reverse=True)
+        assert {p.area_luts for p in front} == {100, 150, 300}
+
+    def test_front_of_empty_set(self):
+        assert pareto_front([]) == []
+
+    def test_every_input_point_is_dominated_or_on_front(self):
+        points = [make_point(a, s) for a, s in
+                  [(100, 5.0), (120, 4.5), (130, 6.0), (200, 2.0), (500, 2.5)]]
+        front = pareto_front(points)
+        for point in points:
+            on_front = any(point is f for f in front)
+            dominated = any(is_dominated(point, f) for f in front)
+            assert on_front or dominated
+
+
+class TestConstraints:
+    def test_default_admits_everything(self):
+        assert DseConstraints().admits(make_point(100, 1.0, fits=False))
+
+    def test_throughput_bound(self):
+        constraints = DseConstraints(min_frames_per_second=30.0)
+        assert constraints.admits(make_point(100, 1 / 60))
+        assert not constraints.admits(make_point(100, 1 / 10))
+
+    def test_area_bound_and_device_only(self):
+        constraints = DseConstraints(max_area_luts=150, device_only=True)
+        assert constraints.admits(make_point(100, 1.0, fits=True))
+        assert not constraints.admits(make_point(200, 1.0, fits=True))
+        assert not constraints.admits(make_point(100, 1.0, fits=False))

@@ -1,0 +1,112 @@
+"""Unit tests for the end-to-end flow driver and the reporting helpers."""
+
+import pytest
+
+from repro.dse.constraints import DseConstraints
+from repro.flow.hls_flow import FlowOptions, HlsFlow
+from repro.flow.report import (
+    area_validation_table,
+    flow_summary,
+    pareto_table,
+    throughput_table,
+)
+from repro.ir.operators import DataFormat
+
+
+SMALL_OPTIONS = FlowOptions(
+    data_format=DataFormat.FIXED16,
+    frame_width=128,
+    frame_height=96,
+    iterations=4,
+    window_sides=(1, 2, 3),
+    max_depth=2,
+    max_cones_per_depth=3,
+    synthesize_all=True,
+)
+
+
+@pytest.fixture(scope="module")
+def igf_flow_result(igf_kernel):
+    return HlsFlow(igf_kernel, SMALL_OPTIONS).run()
+
+
+class TestFlowConstruction:
+    def test_flow_from_c_source(self):
+        from repro.algorithms.gaussian import IGF_C_SOURCE
+        flow = HlsFlow(IGF_C_SOURCE, SMALL_OPTIONS)
+        assert flow.kernel.name == "blur"
+        assert flow.invariance.is_isl
+
+    def test_non_isl_kernel_rejected(self):
+        from repro.frontend.dsl import stencil_kernel
+
+        def define(k):
+            f = k.field("f")
+            k.update(f, f(10, 0) + f(-10, 0))
+
+        with pytest.raises(Exception):
+            HlsFlow(stencil_kernel("wide", define), SMALL_OPTIONS)
+
+
+class TestFlowResult:
+    def test_result_structure(self, igf_flow_result):
+        result = igf_flow_result
+        assert result.kernel.name == "blur"
+        assert result.properties.radius == 1
+        assert result.design_points and result.pareto
+        assert result.exploration.total_iterations == 4
+
+    def test_best_and_extreme_points(self, igf_flow_result):
+        best = igf_flow_result.best_fitting_point()
+        fastest = igf_flow_result.fastest_point()
+        smallest = igf_flow_result.smallest_point()
+        assert best is not None
+        assert fastest.seconds_per_frame <= best.seconds_per_frame
+        assert smallest.area_luts <= best.area_luts
+
+    def test_constraints_are_honoured(self, igf_kernel):
+        options = FlowOptions(
+            data_format=DataFormat.FIXED16, frame_width=128, frame_height=96,
+            iterations=4, window_sides=(1, 2, 3), max_depth=2,
+            max_cones_per_depth=3,
+            constraints=DseConstraints(device_only=True))
+        result = HlsFlow(igf_kernel, options).run()
+        assert all(p.fits_device for p in result.design_points)
+
+
+class TestVhdlGeneration:
+    def test_generate_vhdl_for_a_design_point(self, igf_kernel, igf_flow_result):
+        flow = HlsFlow(igf_kernel, SMALL_OPTIONS)
+        point = igf_flow_result.pareto[-1]
+        files = flow.generate_vhdl(point)
+        assert "isl_fixed_pkg.vhd" in files
+        entity_files = [name for name in files if name.endswith(".vhd")
+                        and "pkg" not in name and "top" not in name]
+        assert len(entity_files) == len(point.architecture.distinct_depths)
+        top_files = [name for name in files if name.endswith("_top.vhd")]
+        assert len(top_files) == 1
+        assert "entity" in files[top_files[0]]
+
+
+class TestReports:
+    def test_pareto_table(self, igf_flow_result):
+        table = pareto_table(igf_flow_result.pareto)
+        text = table.render()
+        assert "kLUTs" in text and "fps" in text
+        assert len(table.rows) == len(igf_flow_result.pareto)
+
+    def test_area_validation_table(self, igf_flow_result):
+        text = area_validation_table(
+            igf_flow_result.exploration.area_validations).render()
+        assert "max error %" in text
+
+    def test_throughput_table(self, igf_flow_result):
+        table = throughput_table(igf_flow_result.exploration)
+        assert len(table.rows) == 3  # one row per window side
+        assert "depth 1 (fps)" in table.columns[1]
+
+    def test_flow_summary_mentions_key_quantities(self, igf_flow_result):
+        text = flow_summary(igf_flow_result.exploration)
+        assert "design points" in text
+        assert "Pareto" in text
+        assert "blur" in text

@@ -1,0 +1,55 @@
+"""Unit tests for the C-subset lexer."""
+
+import pytest
+
+from repro.frontend.c_ast import CParseError
+from repro.frontend.c_lexer import Lexer, TokenKind
+
+
+def tokenize(source):
+    return [t for t in Lexer(source).tokenize() if t.kind is not TokenKind.EOF]
+
+
+def test_identifiers_and_keywords_distinguished():
+    tokens = tokenize("float foo_bar for x1")
+    kinds = [t.kind for t in tokens]
+    assert kinds == [TokenKind.KEYWORD, TokenKind.IDENT, TokenKind.KEYWORD,
+                     TokenKind.IDENT]
+
+
+def test_integer_and_float_literals():
+    tokens = tokenize("42 3.14 0.5f 1e-3 2.5E+2f")
+    assert all(t.kind is TokenKind.NUMBER for t in tokens)
+    assert [t.text for t in tokens] == ["42", "3.14", "0.5", "1e-3", "2.5E+2"]
+
+
+def test_multi_character_punctuators():
+    tokens = tokenize("a <= b >= c == d != e && f || g++")
+    punct = [t.text for t in tokens if t.kind is TokenKind.PUNCT]
+    assert punct == ["<=", ">=", "==", "!=", "&&", "||", "++"]
+
+
+def test_comments_are_skipped():
+    tokens = tokenize("a // line comment\n b /* block\n comment */ c")
+    assert [t.text for t in tokens] == ["a", "b", "c"]
+
+
+def test_unterminated_block_comment_raises():
+    with pytest.raises(CParseError):
+        tokenize("a /* never closed")
+
+
+def test_unexpected_character_raises():
+    with pytest.raises(CParseError):
+        tokenize("a @ b")
+
+
+def test_line_and_column_tracking():
+    tokens = tokenize("a\n  b")
+    assert tokens[0].line == 1 and tokens[0].column == 1
+    assert tokens[1].line == 2 and tokens[1].column == 3
+
+
+def test_eof_token_terminates_stream():
+    tokens = Lexer("x").tokenize()
+    assert tokens[-1].kind is TokenKind.EOF

@@ -1,0 +1,172 @@
+"""Unit tests for the C-subset parser."""
+
+import pytest
+
+from repro.frontend.c_ast import (
+    CArrayAccess,
+    CAssignment,
+    CBinOp,
+    CCall,
+    CDeclaration,
+    CFor,
+    CNumber,
+    CParseError,
+    CTernary,
+)
+from repro.frontend.c_parser import parse_c_source
+
+
+SIMPLE = """
+#define ALPHA 0.5f
+void step(float out[H][W], const float in[H][W]) {
+    for (int y = 1; y < H - 1; y++) {
+        for (int x = 1; x < W - 1; x++) {
+            out[y][x] = ALPHA * in[y][x] + in[y][x + 1];
+        }
+    }
+}
+"""
+
+
+def test_defines_collected_and_stripped():
+    unit = parse_c_source(SIMPLE)
+    assert unit.defines == {"ALPHA": 0.5}
+
+
+def test_includes_and_pragmas_ignored():
+    unit = parse_c_source("#include <math.h>\n#pragma HLS pipeline\n" + SIMPLE)
+    assert len(unit.functions) == 1
+
+
+def test_function_signature_parsed():
+    func = parse_c_source(SIMPLE).function("step")
+    assert func.return_type == "void"
+    assert [p.name for p in func.params] == ["out", "in"]
+    assert func.params[0].array_dims == ("H", "W")
+    assert func.params[1].is_const
+
+
+def test_single_function_lookup_without_name():
+    assert parse_c_source(SIMPLE).function().name == "step"
+
+
+def test_missing_function_raises():
+    with pytest.raises(CParseError):
+        parse_c_source(SIMPLE).function("nope")
+
+
+def test_nested_for_loops_parsed():
+    func = parse_c_source(SIMPLE).function()
+    outer = func.body[0]
+    assert isinstance(outer, CFor)
+    assert outer.var == "y"
+    inner = outer.body[0]
+    assert isinstance(inner, CFor)
+    assert inner.var == "x"
+    assert isinstance(inner.body[0], CAssignment)
+
+
+def test_inclusive_loop_bound_rewritten():
+    source = """
+    void f(float out[H][W], const float in[H][W]) {
+        for (int y = 0; y <= H; y++) {
+            for (int x = 0; x <= W; x++) {
+                out[y][x] = in[y][x];
+            }
+        }
+    }
+    """
+    loop = parse_c_source(source).function().body[0]
+    assert isinstance(loop.upper, CBinOp) and loop.upper.op == "+"
+
+
+def test_local_declarations_and_compound_assignment():
+    source = """
+    void f(float out[H][W], const float in[H][W]) {
+        for (int y = 1; y < H; y++) {
+            for (int x = 1; x < W; x++) {
+                float acc = in[y][x];
+                acc += in[y][x - 1];
+                out[y][x] = acc;
+            }
+        }
+    }
+    """
+    inner = parse_c_source(source).function().body[0].body[0]
+    statements = inner.body
+    assert isinstance(statements[0], CDeclaration)
+    assert isinstance(statements[1], CAssignment)
+    assert isinstance(statements[1].value, CBinOp)
+
+
+def test_ternary_and_intrinsics():
+    source = """
+    void f(float out[H][W], const float in[H][W]) {
+        for (int y = 1; y < H; y++) {
+            for (int x = 1; x < W; x++) {
+                out[y][x] = in[y][x] > 0.0f ? sqrtf(in[y][x]) : fminf(in[y][x], 0.0f);
+            }
+        }
+    }
+    """
+    assignment = parse_c_source(source).function().body[0].body[0].body[0]
+    assert isinstance(assignment.value, CTernary)
+    assert isinstance(assignment.value.if_true, CCall)
+    assert assignment.value.if_true.name == "sqrtf"
+
+
+def test_unsupported_function_call_rejected():
+    source = """
+    void f(float out[H][W], const float in[H][W]) {
+        for (int y = 1; y < H; y++) {
+            for (int x = 1; x < W; x++) {
+                out[y][x] = my_helper(in[y][x]);
+            }
+        }
+    }
+    """
+    with pytest.raises(CParseError, match="unsupported function"):
+        parse_c_source(source)
+
+
+def test_unsupported_loop_condition_rejected():
+    source = """
+    void f(float out[H][W]) {
+        for (int y = H; y > 0; y++) {
+            out[y][0] = 0.0f;
+        }
+    }
+    """
+    with pytest.raises(CParseError):
+        parse_c_source(source)
+
+
+def test_3d_array_parameters():
+    source = """
+    void f(float pn[2][H][W], const float p[2][H][W]) {
+        for (int y = 1; y < H; y++) {
+            for (int x = 1; x < W; x++) {
+                pn[0][y][x] = p[0][y][x] + p[1][y][x];
+            }
+        }
+    }
+    """
+    func = parse_c_source(source).function()
+    assert func.params[0].array_dims == ("2", "H", "W")
+    assignment = func.body[0].body[0].body[0]
+    assert isinstance(assignment.target, CArrayAccess)
+    assert len(assignment.target.indices) == 3
+    assert isinstance(assignment.target.indices[0], CNumber)
+
+
+def test_cast_expression_accepted():
+    source = """
+    void f(float out[H][W], const float in[H][W]) {
+        for (int y = 1; y < H; y++) {
+            for (int x = 1; x < W; x++) {
+                out[y][x] = (float) in[y][x] * 2.0f;
+            }
+        }
+    }
+    """
+    assert parse_c_source(source).function().name == "f"

@@ -1,0 +1,141 @@
+"""Unit tests for the Python stencil DSL."""
+
+import pytest
+
+from repro.frontend.dsl import KernelBuilder, stencil_kernel
+from repro.frontend.kernel_ir import (
+    BinOpKind,
+    BinaryOp,
+    FieldRead,
+    KernelValidationError,
+    Literal,
+    ParamRef,
+    Select,
+    UnaryOp,
+)
+from repro.utils.geometry import Offset
+
+
+def test_field_read_offsets():
+    def define(k):
+        f = k.field("f")
+        k.update(f, f(1, -2))
+
+    kernel = stencil_kernel("t", define)
+    read = kernel.updates[0].expr
+    assert isinstance(read, FieldRead)
+    assert read.offset == Offset(1, -2)
+    assert read.field_name == "f"
+
+
+def test_arithmetic_operators_build_binary_ops():
+    def define(k):
+        f = k.field("f")
+        k.update(f, (f(0, 0) + 1.0) * 2.0 - f(1, 0) / 4.0)
+
+    kernel = stencil_kernel("t", define)
+    expr = kernel.updates[0].expr
+    assert isinstance(expr, BinaryOp)
+    assert expr.kind is BinOpKind.SUB
+
+
+def test_reflected_operators_with_scalars():
+    def define(k):
+        f = k.field("f")
+        k.update(f, 2.0 * f(0, 0) + 1.0 - f(0, 0))
+
+    kernel = stencil_kernel("t", define)
+    assert kernel.operation_count == 3
+
+
+def test_negation_and_unary():
+    def define(k):
+        f = k.field("f")
+        k.update(f, -f(0, 0) + k.absolute(f(1, 0)) + k.sqrt(f(0, 1)))
+
+    kernel = stencil_kernel("t", define)
+    assert kernel.operation_count >= 4
+
+
+def test_min_max_select_helpers():
+    def define(k):
+        f = k.field("f")
+        clamped = k.minimum(k.maximum(f(0, 0), 0.0), 1.0)
+        k.update(f, k.select(f(0, 0) > 0.5, clamped, f(1, 1)))
+
+    kernel = stencil_kernel("t", define)
+    assert isinstance(kernel.updates[0].expr, Select)
+
+
+def test_params_are_declared_with_defaults():
+    def define(k):
+        f = k.field("f")
+        tau = k.param("tau", 0.25)
+        k.update(f, tau * f(0, 0))
+
+    kernel = stencil_kernel("t", define)
+    assert kernel.params == {"tau": 0.25}
+    expr = kernel.updates[0].expr
+    assert isinstance(expr, BinaryOp)
+    assert isinstance(expr.left, ParamRef)
+
+
+def test_vector_field_components():
+    def define(k):
+        p = k.field("p", components=2)
+        p0, p1 = p.component(0), p.component(1)
+        k.update(p0, p0(0, 0) + p1(1, 0))
+        k.update(p1, p1(0, 0) - p0(0, 1))
+
+    kernel = stencil_kernel("t", define)
+    assert len(kernel.updates) == 2
+    assert {u.component for u in kernel.updates} == {0, 1}
+
+
+def test_component_out_of_range_rejected():
+    builder = KernelBuilder("t")
+    p = builder.field("p", components=2)
+    with pytest.raises(KernelValidationError):
+        p.component(2)
+
+
+def test_update_of_undeclared_field_rejected():
+    builder = KernelBuilder("t")
+    builder.field("f")
+    with pytest.raises(KernelValidationError):
+        builder.update("ghost", 1.0)
+
+
+def test_field_redeclaration_with_different_components_rejected():
+    builder = KernelBuilder("t")
+    builder.field("f", components=1)
+    with pytest.raises(KernelValidationError):
+        builder.field("f", components=2)
+
+
+def test_field_redeclaration_with_same_components_is_idempotent():
+    builder = KernelBuilder("t")
+    a = builder.field("f")
+    b = builder.field("f")
+    assert a.name == b.name
+
+
+def test_invalid_expression_operand_rejected():
+    builder = KernelBuilder("t")
+    f = builder.field("f")
+    with pytest.raises(TypeError):
+        _ = f(0, 0) + "not a number"
+
+
+def test_kernel_without_updates_rejected():
+    with pytest.raises(KernelValidationError):
+        stencil_kernel("empty", lambda k: k.field("f") and None)
+
+
+def test_description_is_propagated():
+    def define(k):
+        f = k.field("f")
+        k.update(f, f(0, 0))
+
+    kernel = stencil_kernel("named", define, description="demo kernel")
+    assert kernel.description == "demo kernel"

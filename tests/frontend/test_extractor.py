@@ -1,0 +1,204 @@
+"""Unit tests for the ISL pattern extractor (C AST -> StencilKernel)."""
+
+import pytest
+
+from repro.algorithms.chambolle import CHAMBOLLE_C_SOURCE, chambolle_kernel
+from repro.algorithms.gaussian import IGF_C_SOURCE, iterative_gaussian_filter_kernel
+from repro.algorithms.jacobi import JACOBI_C_SOURCE
+from repro.frontend.extractor import ExtractionError, extract_kernel_from_c
+from repro.symbolic.dependency import analyze_footprint
+from repro.utils.geometry import Offset
+
+
+class TestGaussianExtraction:
+    def test_kernel_extracted(self):
+        kernel = extract_kernel_from_c(IGF_C_SOURCE)
+        assert kernel.name == "blur"
+        assert kernel.state_field_names == ["f"]
+        assert kernel.radius == 1
+        assert len(list(kernel.read_offsets())) == 9
+
+    def test_macros_become_parameters(self):
+        kernel = extract_kernel_from_c(IGF_C_SOURCE)
+        assert kernel.params == {"W_C": 0.25, "W_E": 0.125, "W_D": 0.0625}
+
+    def test_extracted_matches_dsl_footprint(self):
+        from_c = analyze_footprint(extract_kernel_from_c(IGF_C_SOURCE))
+        from_dsl = analyze_footprint(iterative_gaussian_filter_kernel())
+        assert set(from_c.offsets) == set(from_dsl.offsets)
+
+
+class TestChambolleExtraction:
+    def test_vector_field_and_readonly_input(self):
+        kernel = extract_kernel_from_c(CHAMBOLLE_C_SOURCE)
+        assert kernel.state_field_names == ["p"]
+        assert kernel.readonly_field_names == ["g"]
+        assert kernel.field_map["p"].components == 2
+        assert {u.component for u in kernel.updates} == {0, 1}
+
+    def test_footprint_matches_dsl(self):
+        from_c = analyze_footprint(extract_kernel_from_c(CHAMBOLLE_C_SOURCE))
+        from_dsl = analyze_footprint(chambolle_kernel())
+        assert from_c.radius == from_dsl.radius == 1
+
+
+class TestJacobiExtraction:
+    def test_readonly_rhs_field(self):
+        kernel = extract_kernel_from_c(JACOBI_C_SOURCE)
+        assert kernel.state_field_names == ["u"]
+        assert "rhs" in kernel.readonly_field_names
+
+
+class TestErrorHandling:
+    def test_missing_loop_nest(self):
+        source = """
+        void f(float out[H][W], const float in[H][W]) {
+            out[0][0] = in[0][0];
+        }
+        """
+        with pytest.raises(ExtractionError, match="nested spatial loop"):
+            extract_kernel_from_c(source)
+
+    def test_non_constant_offset_rejected(self):
+        source = """
+        void f(float out[H][W], const float in[H][W]) {
+            for (int y = 1; y < H; y++) {
+                for (int x = 1; x < W; x++) {
+                    out[y][x] = in[y][x * 2];
+                }
+            }
+        }
+        """
+        with pytest.raises(ExtractionError, match="translation invariance"):
+            extract_kernel_from_c(source)
+
+    def test_loop_index_outside_subscript_rejected(self):
+        source = """
+        void f(float out[H][W], const float in[H][W]) {
+            for (int y = 1; y < H; y++) {
+                for (int x = 1; x < W; x++) {
+                    out[y][x] = in[y][x] + x;
+                }
+            }
+        }
+        """
+        with pytest.raises(ExtractionError, match="not translation invariant"):
+            extract_kernel_from_c(source)
+
+    def test_read_of_output_array_rejected(self):
+        source = """
+        void f(float out[H][W], const float in[H][W]) {
+            for (int y = 1; y < H; y++) {
+                for (int x = 1; x < W; x++) {
+                    out[y][x] = in[y][x] + out[y][x - 1];
+                }
+            }
+        }
+        """
+        with pytest.raises(ExtractionError, match="output array"):
+            extract_kernel_from_c(source)
+
+    def test_output_written_at_offset_rejected(self):
+        source = """
+        void f(float out[H][W], const float in[H][W]) {
+            for (int y = 1; y < H; y++) {
+                for (int x = 1; x < W; x++) {
+                    out[y][x + 1] = in[y][x];
+                }
+            }
+        }
+        """
+        with pytest.raises(ExtractionError, match="written at the loop indices"):
+            extract_kernel_from_c(source)
+
+    def test_unknown_scalar_identifier_rejected(self):
+        source = """
+        void f(float out[H][W], const float in[H][W]) {
+            for (int y = 1; y < H; y++) {
+                for (int x = 1; x < W; x++) {
+                    out[y][x] = gain * in[y][x];
+                }
+            }
+        }
+        """
+        with pytest.raises(ExtractionError, match="gain"):
+            extract_kernel_from_c(source)
+
+    def test_scalar_parameter_with_supplied_value_accepted(self):
+        source = """
+        void f(float out[H][W], const float in[H][W], float gain) {
+            for (int y = 1; y < H; y++) {
+                for (int x = 1; x < W; x++) {
+                    out[y][x] = gain * in[y][x];
+                }
+            }
+        }
+        """
+        kernel = extract_kernel_from_c(source, scalar_params={"gain": 2.0})
+        assert kernel.params == {"gain": 2.0}
+
+
+class TestStructuralFeatures:
+    def test_local_temporaries_are_inlined(self):
+        source = """
+        void f(float out[H][W], const float in[H][W]) {
+            for (int y = 1; y < H; y++) {
+                for (int x = 1; x < W; x++) {
+                    float left = in[y][x - 1];
+                    float right = in[y][x + 1];
+                    out[y][x] = 0.5f * (left + right);
+                }
+            }
+        }
+        """
+        kernel = extract_kernel_from_c(source)
+        offsets = kernel.read_offsets()
+        assert Offset(-1, 0) in offsets and Offset(1, 0) in offsets
+
+    def test_in_place_update_pairs_with_itself(self):
+        source = """
+        void f(float a[H][W]) {
+            for (int y = 1; y < H; y++) {
+                for (int x = 1; x < W; x++) {
+                    a[y][x] = 0.5f * (a[y][x - 1] + a[y][x + 1]);
+                }
+            }
+        }
+        """
+        kernel = extract_kernel_from_c(source)
+        assert kernel.state_field_names == ["a"]
+
+    def test_explicit_state_map(self):
+        source = """
+        void f(float dst[H][W], const float srca[H][W], const float srcb[H][W]) {
+            for (int y = 1; y < H; y++) {
+                for (int x = 1; x < W; x++) {
+                    dst[y][x] = 0.5f * (srca[y][x] + srcb[y][x]);
+                }
+            }
+        }
+        """
+        kernel = extract_kernel_from_c(source, state_map={"dst": "srca"})
+        assert kernel.state_field_names == ["srca"]
+        assert "srcb" in kernel.readonly_field_names
+
+    def test_kernel_name_override(self):
+        kernel = extract_kernel_from_c(IGF_C_SOURCE, kernel_name="my_blur")
+        assert kernel.name == "my_blur"
+
+    def test_outer_iteration_loop_is_skipped(self):
+        source = """
+        void f(float out[H][W], const float in[H][W]) {
+            for (int it = 0; it < 10; it++) {
+                for (int y = 1; y < H; y++) {
+                    for (int x = 1; x < W; x++) {
+                        out[y][x] = 0.25f * (in[y][x - 1] + in[y][x + 1]
+                                           + in[y - 1][x] + in[y + 1][x]);
+                    }
+                }
+            }
+        }
+        """
+        kernel = extract_kernel_from_c(source)
+        assert kernel.radius == 1
+        assert len(list(kernel.read_offsets())) == 4

@@ -1,0 +1,59 @@
+"""Unit tests for kernel semantic analysis (ISL applicability checks)."""
+
+import pytest
+
+from repro.frontend.dsl import stencil_kernel
+from repro.frontend.kernel_ir import KernelValidationError
+from repro.frontend.semantic import validate_kernel
+
+
+def test_igf_properties(igf_kernel):
+    props = validate_kernel(igf_kernel)
+    assert props.radius == 1
+    assert props.footprint_size == 9
+    assert props.state_fields == ("f",)
+    assert props.readonly_fields == ()
+    assert props.is_domain_narrow and props.is_translation_invariant
+    assert not props.has_division and not props.has_sqrt
+    assert props.total_state_components == 1
+    assert "radius=1" in props.summary()
+
+
+def test_chambolle_properties(chambolle_kernel):
+    props = validate_kernel(chambolle_kernel)
+    assert props.radius == 1
+    assert props.state_fields == ("p",)
+    assert props.readonly_fields == ("g",)
+    assert props.total_state_components == 2
+    assert props.has_division and props.has_sqrt
+
+
+def test_erosion_has_no_arithmetic_flags(erosion_kernel):
+    props = validate_kernel(erosion_kernel)
+    assert not props.has_division
+    assert not props.has_sqrt
+    assert props.footprint_size == 9
+
+
+def test_wide_stencil_rejected_in_strict_mode():
+    def define(k):
+        f = k.field("f")
+        k.update(f, f(12, 0) + f(-12, 0))
+
+    wide = stencil_kernel("wide", define)
+    with pytest.raises(KernelValidationError, match="not domain-narrow"):
+        validate_kernel(wide, strict=True)
+    props = validate_kernel(wide, strict=False)
+    assert not props.is_domain_narrow
+    assert props.radius == 12
+
+
+def test_non_iterative_kernel_rejected():
+    def define(k):
+        f = k.field("f")
+        g = k.field("g")
+        k.update(f, g(0, 0) * 2.0)
+
+    kernel = stencil_kernel("notiter", define)
+    with pytest.raises(KernelValidationError, match="never read"):
+        validate_kernel(kernel)

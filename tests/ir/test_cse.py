@@ -1,0 +1,68 @@
+"""Unit tests for CSE and dead-code elimination on DFGs."""
+
+from repro.ir.cse import dead_code_elimination, eliminate_common_subexpressions
+from repro.ir.dfg import DataflowGraph
+from repro.symbolic.expression import OpKind
+
+
+def redundant_graph():
+    """A graph with a duplicated (a+b) subexpression and a dead node."""
+    graph = DataflowGraph("redundant")
+    a = graph.add_input("a")
+    b = graph.add_input("b")
+    add1 = graph.add_op(OpKind.ADD, [a, b])
+    add2 = graph.add_op(OpKind.ADD, [a, b])       # duplicate
+    add3 = graph.add_op(OpKind.ADD, [b, a])       # commutative duplicate
+    dead = graph.add_op(OpKind.SUB, [a, b])       # not reachable from outputs
+    mul = graph.add_op(OpKind.MUL, [add1, add2])
+    graph.add_output(mul, "y")
+    graph.add_output(add3, "z")
+    return graph
+
+
+def test_cse_merges_structural_duplicates():
+    graph = redundant_graph()
+    optimized, eliminated = eliminate_common_subexpressions(graph)
+    assert eliminated == 2
+    assert optimized.operation_count() == graph.operation_count() - 2
+    optimized.validate()
+
+
+def test_cse_merges_duplicate_constants():
+    graph = DataflowGraph()
+    a = graph.add_input("a")
+    c1 = graph.add_const(2.0)
+    c2 = graph.add_const(2.0)
+    m1 = graph.add_op(OpKind.MUL, [a, c1])
+    m2 = graph.add_op(OpKind.MUL, [a, c2])
+    graph.add_output(m1, "y1")
+    graph.add_output(m2, "y2")
+    optimized, eliminated = eliminate_common_subexpressions(graph)
+    assert eliminated == 2  # duplicate constant and duplicate multiply
+    assert len(optimized.const_nodes) == 1
+
+
+def test_cse_preserves_semantics():
+    graph = redundant_graph()
+    optimized, _ = eliminate_common_subexpressions(graph)
+    inputs = {"a": 2.0, "b": 5.0}
+    assert graph.evaluate(inputs) == optimized.evaluate(inputs)
+
+
+def test_dce_removes_unreachable_nodes():
+    graph = redundant_graph()
+    cleaned, removed = dead_code_elimination(graph)
+    assert removed == 1
+    assert cleaned.operation_count() == graph.operation_count() - 1
+    assert cleaned.evaluate({"a": 1.0, "b": 2.0}) == graph.evaluate({"a": 1.0, "b": 2.0})
+
+
+def test_cone_lowered_graph_is_already_maximally_shared(igf_kernel):
+    """Hash-consing in the symbolic layer means CSE finds nothing to merge."""
+    from repro.ir.dfg import build_dfg_from_cone
+    from repro.symbolic.cone_expression import ConeExpressionBuilder
+
+    cone = ConeExpressionBuilder(igf_kernel).build(3, 2)
+    graph = build_dfg_from_cone(cone)
+    _, eliminated = eliminate_common_subexpressions(graph)
+    assert eliminated == 0

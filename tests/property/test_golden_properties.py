@@ -1,0 +1,82 @@
+"""Property-based tests of kernel semantics via the golden executor."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.algorithms import get_algorithm
+from repro.simulation.frame import FrameSet
+from repro.simulation.golden import GoldenExecutor
+
+small_frames = npst.arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(min_value=5, max_value=12),
+                    st.integers(min_value=5, max_value=12)),
+    elements=st.floats(min_value=-100.0, max_value=100.0,
+                       allow_nan=False, allow_infinity=False),
+)
+
+
+@given(small_frames)
+@settings(max_examples=25, deadline=None)
+def test_gaussian_blur_preserves_bounds_and_mean_range(data):
+    """The normalised blur is a convex combination: output stays within input bounds."""
+    kernel = get_algorithm("blur").kernel()
+    frames = FrameSet.for_kernel(kernel, *data.shape, initial={"f": data})
+    result = GoldenExecutor(kernel).run(frames, 3)["f"].data
+    assert result.max() <= data.max() + 1e-9
+    assert result.min() >= data.min() - 1e-9
+
+
+@given(small_frames, st.floats(min_value=-5.0, max_value=5.0, allow_nan=False))
+@settings(max_examples=25, deadline=None)
+def test_gaussian_blur_is_linear_up_to_constant_shift(data, shift):
+    """Blurring (f + c) equals blurring f then adding c (affine invariance)."""
+    kernel = get_algorithm("blur").kernel()
+    base = GoldenExecutor(kernel).run(
+        FrameSet.for_kernel(kernel, *data.shape, initial={"f": data}), 2)["f"].data
+    shifted = GoldenExecutor(kernel).run(
+        FrameSet.for_kernel(kernel, *data.shape, initial={"f": data + shift}),
+        2)["f"].data
+    np.testing.assert_allclose(shifted, base + shift, rtol=1e-9, atol=1e-9)
+
+
+@given(small_frames)
+@settings(max_examples=25, deadline=None)
+def test_erosion_is_monotone_and_contractive(data):
+    kernel = get_algorithm("erode").kernel()
+    frames = FrameSet.for_kernel(kernel, *data.shape, initial={"f": data})
+    result = GoldenExecutor(kernel).run(frames, 2)["f"].data
+    assert np.all(result <= data + 1e-12)
+    assert result.min() >= data.min() - 1e-12
+
+
+@given(small_frames)
+@settings(max_examples=20, deadline=None)
+def test_heat_step_preserves_total_energy_in_interior(data):
+    """One explicit heat step redistributes values without creating new extrema."""
+    kernel = get_algorithm("heat").kernel()
+    frames = FrameSet.for_kernel(kernel, *data.shape, initial={"t": data})
+    result = GoldenExecutor(kernel).step(frames)["t"].data
+    assert result.max() <= data.max() + 1e-9
+    assert result.min() >= data.min() - 1e-9
+
+
+@given(small_frames, st.integers(min_value=1, max_value=3),
+       st.integers(min_value=2, max_value=4))
+@settings(max_examples=15, deadline=None)
+def test_cone_tiling_is_independent_of_window_size(data, iterations, window):
+    """The functional cone simulator gives the same interior result whatever
+    the tile size — tiling is an implementation detail, not semantics."""
+    from repro.simulation.cone_simulator import FunctionalConeSimulator
+
+    kernel = get_algorithm("blur").kernel()
+    frames = FrameSet.for_kernel(kernel, *data.shape, initial={"f": data})
+    simulator = FunctionalConeSimulator(kernel)
+    a = simulator.run(frames, iterations, window, mode="region")["f"].data
+    b = simulator.run(frames, iterations, window + 1, mode="region")["f"].data
+    margin = iterations + 1
+    np.testing.assert_allclose(a[:, margin:-margin, margin:-margin],
+                               b[:, margin:-margin, margin:-margin],
+                               rtol=1e-9, atol=1e-9)

@@ -1,0 +1,74 @@
+"""Property-based tests for Pareto extraction and the area model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.architecture.template import ConeArchitecture
+from repro.dse.design_point import DesignPoint
+from repro.dse.pareto import is_dominated, pareto_front
+from repro.estimation.area_model import CalibrationPoint, RegisterAreaModel
+from repro.estimation.throughput_model import ArchitecturePerformance
+
+
+def make_point(area, spf):
+    architecture = ConeArchitecture(
+        kernel_name="k", window_side=2, level_depths=[1],
+        cone_counts={1: 1}, radius=1)
+    performance = ArchitecturePerformance(
+        architecture_label="k", clock_hz=1e8, tiles_per_frame=10,
+        compute_cycles_per_tile=1, transfer_cycles_per_tile=1,
+        cycles_per_tile=1, seconds_per_frame=spf,
+        frames_per_second=1.0 / spf, offchip_bytes_per_frame=1.0,
+        compute_bound=True)
+    return DesignPoint(architecture=architecture, area_luts=area,
+                       area_estimated=True, performance=performance,
+                       fits_device=True)
+
+
+objective_pairs = st.lists(
+    st.tuples(st.floats(min_value=1.0, max_value=1e6, allow_nan=False),
+              st.floats(min_value=1e-4, max_value=10.0, allow_nan=False)),
+    min_size=1, max_size=40)
+
+
+@given(objective_pairs)
+@settings(max_examples=80, deadline=None)
+def test_pareto_front_is_non_dominated_and_covers_input(pairs):
+    points = [make_point(a, t) for a, t in pairs]
+    front = pareto_front(points)
+    assert front
+    # nobody on the front is dominated by anybody in the input
+    for member in front:
+        assert not any(is_dominated(member, other) for other in points)
+    # every input point is dominated by (or equal in objectives to) someone on
+    # the front
+    for point in points:
+        assert any((f.area_luts <= point.area_luts
+                    and f.seconds_per_frame <= point.seconds_per_frame)
+                   for f in front)
+
+
+@given(objective_pairs)
+@settings(max_examples=50, deadline=None)
+def test_pareto_front_is_idempotent(pairs):
+    points = [make_point(a, t) for a, t in pairs]
+    front = pareto_front(points)
+    assert [p.area_luts for p in pareto_front(front)] == [p.area_luts for p in front]
+
+
+@given(st.floats(min_value=0.5, max_value=50.0),
+       st.floats(min_value=0.0, max_value=1e4),
+       st.lists(st.integers(min_value=1, max_value=10_000),
+                min_size=3, max_size=10, unique=True))
+@settings(max_examples=60, deadline=None)
+def test_area_model_is_exact_on_affine_families(slope, intercept, registers):
+    """Equation 1 reproduces any affine register-to-area relationship exactly."""
+    registers = sorted(registers)
+    model = RegisterAreaModel(size_reg_luts=4.0)
+    actual = {i + 1: intercept + slope * r for i, r in enumerate(registers)}
+    register_map = {i + 1: r for i, r in enumerate(registers)}
+    model.calibrate([CalibrationPoint(1, registers[0], actual[1]),
+                     CalibrationPoint(2, registers[1], actual[2])])
+    for estimate in model.estimate_series(register_map):
+        assert abs(estimate.estimated_area_luts - actual[estimate.key]) < 1e-6 * max(
+            1.0, actual[estimate.key])

@@ -1,0 +1,141 @@
+"""Unit tests for frames and the golden whole-frame executor."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.frame import Frame, FrameSet, make_test_frame
+from repro.simulation.golden import GoldenExecutor
+
+
+class TestFrame:
+    def test_2d_data_promoted_to_single_component(self):
+        frame = Frame("f", np.zeros((4, 5)))
+        assert frame.shape == (1, 4, 5)
+        assert frame.components == 1
+        assert frame.height == 4 and frame.width == 5
+
+    def test_invalid_rank_rejected(self):
+        with pytest.raises(ValueError):
+            Frame("f", np.zeros((2, 3, 4, 5)))
+
+    def test_clamped_read(self):
+        data = np.arange(12, dtype=float).reshape(3, 4)
+        frame = Frame("f", data)
+        assert frame.clamped_read(0, -5, -5) == data[0, 0]
+        assert frame.clamped_read(0, 10, 10) == data[2, 3]
+        assert frame.clamped_read(0, 1, 2) == data[1, 2]
+
+    def test_padded_replicates_edges(self):
+        frame = Frame("f", np.array([[1.0, 2.0], [3.0, 4.0]]))
+        padded = frame.padded(1)
+        assert padded.shape == (1, 4, 4)
+        assert padded[0, 0, 0] == 1.0
+        assert padded[0, 3, 3] == 4.0
+
+    def test_copy_is_independent(self):
+        frame = Frame("f", np.zeros((2, 2)))
+        clone = frame.copy()
+        clone.data[0, 0, 0] = 5.0
+        assert frame.data[0, 0, 0] == 0.0
+
+
+class TestFrameSet:
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            FrameSet([Frame("a", np.zeros((2, 2))), Frame("b", np.zeros((3, 3)))])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            FrameSet([Frame("a", np.zeros((2, 2))), Frame("a", np.zeros((2, 2)))])
+
+    def test_for_kernel_builds_all_fields(self, chambolle_kernel):
+        frames = FrameSet.for_kernel(chambolle_kernel, 8, 10, seed=1)
+        assert set(frames.names()) == {"p", "g"}
+        assert frames["p"].components == 2
+        assert frames["g"].components == 1
+        assert frames.height == 8 and frames.width == 10
+
+    def test_for_kernel_accepts_initial_data(self, igf_kernel):
+        initial = np.ones((4, 4))
+        frames = FrameSet.for_kernel(igf_kernel, 4, 4, initial={"f": initial})
+        assert np.allclose(frames["f"].data, 1.0)
+
+    def test_for_kernel_rejects_wrong_component_count(self, chambolle_kernel):
+        with pytest.raises(ValueError):
+            FrameSet.for_kernel(chambolle_kernel, 4, 4, initial={"p": np.ones((4, 4))})
+
+    def test_replace_checks_shape(self, igf_kernel):
+        frames = FrameSet.for_kernel(igf_kernel, 4, 4)
+        with pytest.raises(ValueError):
+            frames.replace("f", np.zeros((1, 5, 5)))
+
+    def test_make_test_frame_is_deterministic(self):
+        a = make_test_frame(8, 8, rng=np.random.default_rng(7))
+        b = make_test_frame(8, 8, rng=np.random.default_rng(7))
+        assert np.array_equal(a, b)
+
+
+class TestGoldenExecutor:
+    def test_uniform_frame_is_blur_fixed_point(self, igf_kernel):
+        """A constant frame is a fixed point of the (normalised) Gaussian blur."""
+        frames = FrameSet.for_kernel(igf_kernel, 6, 6,
+                                     initial={"f": np.full((6, 6), 3.0)})
+        result = GoldenExecutor(igf_kernel).run(frames, 5)
+        assert np.allclose(result["f"].data, 3.0)
+
+    def test_blur_matches_manual_convolution_in_interior(self, igf_kernel):
+        rng = np.random.default_rng(0)
+        data = rng.random((7, 7))
+        frames = FrameSet.for_kernel(igf_kernel, 7, 7, initial={"f": data})
+        result = GoldenExecutor(igf_kernel).step(frames)["f"].data[0]
+        kernel = np.array([[0.0625, 0.125, 0.0625],
+                           [0.125, 0.25, 0.125],
+                           [0.0625, 0.125, 0.0625]])
+        y, x = 3, 3
+        expected = float((data[y - 1:y + 2, x - 1:x + 2] * kernel).sum())
+        assert result[y, x] == pytest.approx(expected)
+
+    def test_zero_iterations_is_identity(self, igf_kernel):
+        frames = FrameSet.for_kernel(igf_kernel, 5, 5, seed=2)
+        result = GoldenExecutor(igf_kernel).run(frames, 0)
+        assert np.array_equal(result["f"].data, frames["f"].data)
+
+    def test_negative_iterations_rejected(self, igf_kernel):
+        frames = FrameSet.for_kernel(igf_kernel, 5, 5)
+        with pytest.raises(ValueError):
+            GoldenExecutor(igf_kernel).run(frames, -1)
+
+    def test_blur_smooths_variance(self, igf_kernel):
+        frames = FrameSet.for_kernel(igf_kernel, 32, 32, seed=5)
+        result = GoldenExecutor(igf_kernel).run(frames, 8)
+        assert result["f"].data.var() < frames["f"].data.var()
+
+    def test_readonly_field_is_untouched(self, chambolle_kernel):
+        frames = FrameSet.for_kernel(chambolle_kernel, 10, 10, seed=3)
+        original_g = frames["g"].data.copy()
+        result = GoldenExecutor(chambolle_kernel).run(frames, 4)
+        assert np.array_equal(result["g"].data, original_g)
+        assert not np.array_equal(result["p"].data, frames["p"].data)
+
+    def test_chambolle_dual_variable_stays_bounded(self, chambolle_kernel):
+        """Chambolle's projection keeps the dual field bounded (soft check)."""
+        frames = FrameSet.for_kernel(chambolle_kernel, 16, 16, seed=4)
+        result = GoldenExecutor(chambolle_kernel).run(frames, 20)
+        assert np.all(np.abs(result["p"].data) < 50.0)
+
+    def test_parameter_override_changes_result(self, chambolle_kernel):
+        frames = FrameSet.for_kernel(chambolle_kernel, 8, 8, seed=6)
+        default = GoldenExecutor(chambolle_kernel).step(frames)
+        slower = GoldenExecutor(chambolle_kernel, params={"tau": 0.05}).step(frames)
+        assert not np.allclose(default["p"].data, slower["p"].data)
+
+    def test_heat_equation_conserves_and_decays(self, heat_kernel):
+        frames = FrameSet.for_kernel(heat_kernel, 16, 16, seed=8)
+        result = GoldenExecutor(heat_kernel).run(frames, 10)
+        assert result["t"].data.max() <= frames["t"].data.max() + 1e-9
+        assert result["t"].data.min() >= frames["t"].data.min() - 1e-9
+
+    def test_erosion_never_increases_values(self, erosion_kernel):
+        frames = FrameSet.for_kernel(erosion_kernel, 12, 12, seed=9)
+        result = GoldenExecutor(erosion_kernel).run(frames, 3)
+        assert np.all(result["f"].data <= frames["f"].data + 1e-12)

@@ -1,0 +1,60 @@
+"""Unit tests for the two-frame-buffer baseline architecture."""
+
+import pytest
+
+from repro.ir.operators import DataFormat
+from repro.simulation.framebuffer_baseline import FrameBufferArchitecture
+from repro.synth.fpga_device import VIRTEX2P_XC2VP30, VIRTEX6_XC6VLX760
+
+
+def test_large_frames_do_not_fit_onchip(igf_kernel):
+    baseline = FrameBufferArchitecture(igf_kernel, VIRTEX6_XC6VLX760)
+    report = baseline.evaluate(1024, 768, iterations=10)
+    assert not report.frame_fits_onchip
+    assert report.onchip_bytes_required > VIRTEX6_XC6VLX760.onchip_memory_bytes
+
+
+def test_small_frames_fit_onchip_and_avoid_per_iteration_traffic(igf_kernel):
+    baseline = FrameBufferArchitecture(igf_kernel, VIRTEX6_XC6VLX760)
+    small = baseline.evaluate(256, 256, iterations=10)
+    assert small.frame_fits_onchip
+    large = baseline.evaluate(1024, 768, iterations=10)
+    # when the frame spills off chip, traffic scales with the iteration count
+    assert large.offchip_bytes_per_frame > 5 * small.offchip_bytes_per_frame
+
+
+def test_memory_performance_conflict(igf_kernel):
+    """Section 2.2: when the frame spills off-chip the baseline becomes
+    transfer-bound and the frame time grows with the iteration count."""
+    baseline = FrameBufferArchitecture(igf_kernel, VIRTEX6_XC6VLX760)
+    few = baseline.evaluate(1024, 768, iterations=2)
+    many = baseline.evaluate(1024, 768, iterations=20)
+    assert many.seconds_per_frame > 5 * few.seconds_per_frame
+
+
+def test_wider_datapath_helps_compute_bound_case(igf_kernel):
+    narrow = FrameBufferArchitecture(igf_kernel, VIRTEX6_XC6VLX760, pixels_per_cycle=1)
+    wide = FrameBufferArchitecture(igf_kernel, VIRTEX6_XC6VLX760, pixels_per_cycle=4)
+    assert wide.evaluate(256, 256, 10).frames_per_second >= \
+        narrow.evaluate(256, 256, 10).frames_per_second
+
+
+def test_chambolle_needs_more_onchip_memory_than_igf(igf_kernel, chambolle_kernel):
+    igf = FrameBufferArchitecture(igf_kernel, VIRTEX6_XC6VLX760)
+    chamb = FrameBufferArchitecture(chambolle_kernel, VIRTEX6_XC6VLX760)
+    assert chamb.evaluate(512, 512, 5).onchip_bytes_required > \
+        igf.evaluate(512, 512, 5).onchip_bytes_required
+
+
+def test_older_device_is_slower(igf_kernel):
+    new = FrameBufferArchitecture(igf_kernel, VIRTEX6_XC6VLX760)
+    old = FrameBufferArchitecture(igf_kernel, VIRTEX2P_XC2VP30)
+    assert old.evaluate(1024, 768, 10).frames_per_second < \
+        new.evaluate(1024, 768, 10).frames_per_second
+
+
+def test_report_fields_consistent(igf_kernel):
+    report = FrameBufferArchitecture(igf_kernel, VIRTEX6_XC6VLX760).evaluate(640, 480, 8)
+    assert report.frames_per_second == pytest.approx(1.0 / report.seconds_per_frame)
+    assert report.kernel_name == "blur"
+    assert report.iterations == 8

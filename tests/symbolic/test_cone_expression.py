@@ -1,0 +1,92 @@
+"""Unit tests for multi-iteration cone expression construction (register reuse)."""
+
+import pytest
+
+from repro.simulation.frame import FrameSet
+from repro.simulation.golden import GoldenExecutor
+from repro.symbolic.cone_expression import ConeExpressionBuilder
+from repro.symbolic.dependency import cone_element_count, cone_input_count
+from repro.symbolic.expression import evaluate
+from repro.utils.geometry import Offset
+
+
+def test_element_registers_match_cone_geometry(igf_kernel):
+    builder = ConeExpressionBuilder(igf_kernel)
+    for window, depth in [(1, 1), (2, 2), (3, 2), (4, 3)]:
+        cone = builder.build(window, depth)
+        assert cone.element_register_count == cone_element_count(window, 1, depth)
+
+
+def test_input_symbols_match_input_window(igf_kernel):
+    builder = ConeExpressionBuilder(igf_kernel)
+    cone = builder.build(3, 2)
+    assert cone.input_count == cone_input_count(3, 1, 2)
+
+
+def test_output_count_and_critical_path(igf_kernel):
+    builder = ConeExpressionBuilder(igf_kernel)
+    cone = builder.build(3, 4)
+    assert cone.output_count == 9
+    single = builder.build(1, 1)
+    assert cone.critical_path_depth == pytest.approx(4 * single.critical_path_depth)
+
+
+def test_register_growth_is_polynomial_not_exponential(igf_kernel):
+    """The defining property of the register-reuse scheme (Section 3.2)."""
+    builder = ConeExpressionBuilder(igf_kernel)
+    registers = [builder.build(1, depth).register_count for depth in (1, 2, 3, 4, 5)]
+    # without reuse the count would grow like 9^depth (59049 at depth 5); with
+    # reuse it follows the number of distinct elements, i.e. quadratically.
+    assert registers[4] < 9 ** 4
+    growth = [b / a for a, b in zip(registers, registers[1:])]
+    assert all(later < earlier for earlier, later in zip(growth, growth[1:]))
+
+
+def test_operation_reuse_across_output_elements(igf_kernel):
+    builder = ConeExpressionBuilder(igf_kernel)
+    one = builder.build(1, 1)
+    many = builder.build(3, 1)
+    # 9 independent outputs would need 9x the operations; sharing across
+    # neighbouring elements keeps it strictly below that.
+    assert many.operation_count < 9 * one.operation_count
+
+
+def test_chambolle_cone_carries_both_components(chambolle_kernel):
+    builder = ConeExpressionBuilder(chambolle_kernel)
+    cone = builder.build(2, 2)
+    fields = {(field, component) for field, component, _ in cone.outputs}
+    assert fields == {("p", 0), ("p", 1)}
+    assert cone.domain.components == 2
+
+
+def test_invalid_arguments_rejected(igf_kernel):
+    builder = ConeExpressionBuilder(igf_kernel)
+    with pytest.raises(ValueError):
+        builder.build(0, 1)
+    with pytest.raises(ValueError):
+        builder.build(1, 0)
+
+
+def test_cone_depth_two_equals_two_golden_iterations(igf_kernel):
+    """Evaluating the depth-2 cone numerically must equal two kernel steps."""
+    frames = FrameSet.for_kernel(igf_kernel, height=9, width=9, seed=3)
+    golden = GoldenExecutor(igf_kernel).run(frames, 2)
+
+    builder = ConeExpressionBuilder(igf_kernel)
+    cone = builder.build(1, 2)
+    centre = Offset(4, 4)
+    bindings = {}
+    for symbol in cone.input_symbols:
+        bindings[(symbol.field, symbol.component, symbol.offset.dx,
+                  symbol.offset.dy, symbol.level)] = frames[symbol.field].clamped_read(
+            symbol.component, centre.dy + symbol.offset.dy, centre.dx + symbol.offset.dx)
+    expr = cone.outputs[("f", 0, Offset(0, 0))]
+    value = evaluate(expr, bindings)
+    assert value == pytest.approx(golden["f"].data[0, centre.dy, centre.dx])
+
+
+def test_params_override_changes_result(chambolle_kernel):
+    default = ConeExpressionBuilder(chambolle_kernel).build(1, 1)
+    overridden = ConeExpressionBuilder(chambolle_kernel,
+                                       params={"tau": 0.5}).build(1, 1)
+    assert default.register_count == overridden.register_count

@@ -1,0 +1,54 @@
+"""Unit tests for the symbolic verification of the ISL properties."""
+
+from repro.frontend.dsl import stencil_kernel
+from repro.symbolic.invariance import (
+    check_domain_narrowness,
+    check_translation_invariance,
+    verify_kernel,
+)
+
+
+def test_igf_is_isl(igf_kernel):
+    report = verify_kernel(igf_kernel)
+    assert report.is_translation_invariant
+    assert report.is_domain_narrow
+    assert report.is_isl
+    assert report.radius == 1
+    assert report.footprint_size == 9
+    assert report.detail == ""
+
+
+def test_chambolle_is_isl(chambolle_kernel):
+    report = verify_kernel(chambolle_kernel)
+    assert report.is_isl
+    assert report.footprint_size > 0
+
+
+def test_all_registered_algorithms_are_isl():
+    from repro.algorithms import ALGORITHMS
+    for spec in ALGORITHMS.values():
+        report = verify_kernel(spec.kernel())
+        assert report.is_isl, f"{spec.name} failed ISL verification: {report.detail}"
+
+
+def test_translation_invariance_check(igf_kernel):
+    assert check_translation_invariance(igf_kernel)
+
+
+def test_wide_kernel_fails_narrowness():
+    def define(k):
+        f = k.field("f")
+        k.update(f, f(10, 0) + f(-10, 0))
+
+    wide = stencil_kernel("wide", define)
+    assert not check_domain_narrowness(wide)
+    report = verify_kernel(wide)
+    assert report.is_translation_invariant
+    assert not report.is_domain_narrow
+    assert not report.is_isl
+    assert "footprint too large" in report.detail
+
+
+def test_narrowness_threshold_parameters(igf_kernel):
+    assert not check_domain_narrowness(igf_kernel, max_footprint=4)
+    assert check_domain_narrowness(igf_kernel, max_radius=1)

@@ -1,0 +1,51 @@
+"""Unit tests for the plain-text table formatter."""
+
+import pytest
+
+from repro.utils.tables import Table, format_float, format_si
+
+
+def test_format_float_plain_and_scientific():
+    assert format_float(0) == "0"
+    assert format_float(3.14159, digits=3) == "3.14"
+    assert "e" in format_float(1.23e-9)
+    assert "e" in format_float(4.5e12)
+
+
+def test_format_si_prefixes():
+    assert format_si(1500, "LUT") == "1.5kLUT"
+    assert format_si(2_500_000) == "2.5M"
+    assert format_si(3.2e9, "B/s") == "3.2GB/s"
+    assert format_si(12) == "12"
+
+
+def test_table_requires_columns():
+    with pytest.raises(ValueError):
+        Table([])
+
+
+def test_table_row_arity_checked():
+    table = Table(["a", "b"])
+    with pytest.raises(ValueError):
+        table.add_row([1])
+
+
+def test_table_renders_header_and_rows():
+    table = Table(["name", "value"], title="demo")
+    table.add_row(["alpha", 1.25])
+    table.add_row(["beta", 300])
+    text = table.render()
+    lines = text.splitlines()
+    assert lines[0] == "demo"
+    assert "name" in lines[1] and "value" in lines[1]
+    assert any("alpha" in line and "1.25" in line for line in lines)
+    assert any("beta" in line for line in lines)
+    assert str(table) == text
+
+
+def test_table_column_alignment():
+    table = Table(["col"])
+    table.add_row(["averylongcellvalue"])
+    table.add_row(["x"])
+    lines = table.render().splitlines()
+    assert len(lines[-1]) <= len(lines[-2])
