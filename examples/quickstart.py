@@ -1,44 +1,51 @@
 """Quickstart: run the cone-based HLS flow on the iterative Gaussian filter.
 
-This is the 60-second tour of the public API:
+This is the 60-second tour of the public API (:mod:`repro.api`):
 
-1. pick a registered ISL algorithm (or write your own kernel),
-2. run the flow (dependency analysis, area/throughput estimation,
-   design-space exploration, Pareto extraction),
-3. inspect the Pareto set and generate VHDL for a chosen design point.
+1. declare a :class:`Workload` — a registered ISL algorithm (or your own
+   kernel / C source) plus device, data format, frame geometry, and
+   design-space knobs;
+2. run it in a :class:`Session` (dependency analysis, area/throughput
+   estimation, design-space exploration, Pareto extraction) — sessions cache
+   cone characterizations, so related workloads share the expensive work;
+3. inspect the Pareto set, serialize the result to JSON, and generate VHDL
+   for a chosen design point.
 
 Run with::
 
     python examples/quickstart.py
+
+The same flow is available from the shell: ``python -m repro explore blur``.
 """
 
 from __future__ import annotations
 
-from repro import FlowOptions, HlsFlow, get_algorithm
+import json
+
+from repro import FlowResult, Session, Workload
 from repro.flow.report import area_validation_table, flow_summary, pareto_table
 from repro.ir.operators import DataFormat
 
 
 def main() -> None:
-    # 1. the iterative Gaussian filter, exactly as in Section 4.1 of the paper
-    spec = get_algorithm("blur")
-    kernel = spec.kernel()
-    print(kernel)
-    print()
-
-    # 2. run the flow on a reduced design space (fast: a few seconds)
-    options = FlowOptions(
+    # 1. the iterative Gaussian filter, exactly as in Section 4.1 of the
+    #    paper, on a reduced design space (fast: a few seconds)
+    workload = Workload.from_algorithm(
+        "blur",
         data_format=DataFormat.FIXED16,
         frame_width=1024,
         frame_height=768,
-        iterations=spec.default_iterations,
         window_sides=(1, 2, 3, 4, 5, 6),
         max_depth=3,
         max_cones_per_depth=8,
         synthesize_all=True,      # also synthesise every cone to validate Eq. 1
     )
-    flow = HlsFlow(kernel, options)
-    result = flow.run()
+    print(workload.resolve_kernel())
+    print()
+
+    # 2. run it in a session
+    session = Session()
+    result = session.run(workload)
 
     print(flow_summary(result.exploration))
     print()
@@ -47,9 +54,25 @@ def main() -> None:
     print(pareto_table(result.pareto, title="Pareto set (area vs time per frame)"))
     print()
 
-    # 3. generate synthesizable VHDL for the fastest architecture that fits
+    # ... a second frame size reuses every cone characterization: no new
+    # synthesis runs, only the (cheap) throughput estimation re-runs.
+    session.run(workload.replace(frame_width=640, frame_height=480))
+    print(f"after a second frame size: {session.stats.synthesis_runs} "
+          f"synthesis runs total, "
+          f"{session.stats.characterization_cache_hits} cache hit(s)")
+    print()
+
+    # 3a. every result round-trips through JSON
+    payload = json.dumps(result.to_dict())
+    restored = FlowResult.from_dict(json.loads(payload))
+    assert restored.pareto == result.pareto
+    print(f"serialized result: {len(payload)} bytes of JSON, "
+          f"Pareto set identical after round-trip")
+    print()
+
+    # 3b. generate synthesizable VHDL for the fastest architecture that fits
     best = result.best_fitting_point()
-    files = flow.generate_vhdl(best)
+    files = session.generate_vhdl(workload, point=best)
     print(f"best architecture on the device: {best.summary()}")
     print(f"generated VHDL files: {sorted(files)}")
     entity = next(name for name in files if name.endswith(".vhd")

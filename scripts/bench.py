@@ -1,0 +1,187 @@
+#!/usr/bin/env python
+"""Benchmark runner: execute the ``benchmarks/bench_*`` workloads through the
+batch API and emit a ``BENCH_<date>.json`` perf snapshot.
+
+Each bench module times one stage of a Section-4 experiment; the expensive
+shared artifact behind them is the full design-space exploration of each case
+study.  This runner drives those explorations through
+:meth:`repro.api.Session.run_many` (so characterizations are shared the way a
+production deployment would share them), records wall time and synthesizer
+accounting per workload, and maps every bench module to the workload(s) it
+draws on.  The emitted snapshot gives future PRs a trajectory to compare
+against.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench.py            # writes BENCH_<date>.json
+    PYTHONPATH=src python scripts/bench.py -o out.json --pytest
+
+``--pytest`` additionally runs the pytest benchmark suite itself (slower;
+wall time is recorded in the snapshot under ``pytest_suite``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime as _dt
+import glob
+import json
+import os
+import subprocess
+import sys
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.api import Session, Workload  # noqa: E402
+from repro.ir.operators import DataFormat  # noqa: E402
+
+#: Frame size used throughout Section 4 of the paper.
+FRAME = (1024, 768)
+
+#: The explorations the figure/section benches are built on, exercised
+#: through the batch API exactly as ``benchmarks/_support.make_explorer``
+#: configures them.
+WORKLOADS = {
+    "igf": Workload.from_algorithm(
+        "blur", data_format=DataFormat.FIXED16, iterations=10,
+        frame_width=FRAME[0], frame_height=FRAME[1],
+        window_sides=(1, 2, 3, 4, 5, 6, 7, 8, 9), max_depth=5,
+        max_cones_per_depth=16, synthesize_all=True),
+    "chambolle": Workload.from_algorithm(
+        "chamb", data_format=DataFormat.FIXED16, iterations=11,
+        frame_width=FRAME[0], frame_height=FRAME[1],
+        window_sides=(1, 2, 3, 4, 5, 6, 7, 8, 9), max_depth=5,
+        max_cones_per_depth=16, synthesize_all=True),
+}
+
+#: Which exploration(s) each bench module draws on.
+MODULE_WORKLOADS = {
+    "bench_fig05_igf_area_estimation": ["igf"],
+    "bench_fig06_igf_pareto": ["igf"],
+    "bench_fig07_igf_throughput": ["igf"],
+    "bench_fig08_chambolle_area_estimation": ["chambolle"],
+    "bench_fig09_chambolle_pareto": ["chambolle"],
+    "bench_fig10_chambolle_throughput": ["chambolle"],
+    "bench_sec41_igf_vs_literature": ["igf"],
+    "bench_sec42_chambolle_vs_literature": ["chambolle"],
+    "bench_sec43_commercial_hls": ["igf", "chambolle"],
+}
+
+
+def discover_bench_modules() -> list:
+    pattern = os.path.join(REPO_ROOT, "benchmarks", "bench_*.py")
+    return sorted(os.path.splitext(os.path.basename(path))[0]
+                  for path in glob.glob(pattern))
+
+
+def run_batch(jobs) -> dict:
+    """Run every bench workload through one session; return the snapshot body."""
+    session = Session()
+    names = list(WORKLOADS)
+    workloads = [WORKLOADS[name] for name in names]
+
+    per_workload = {}
+    started = time.perf_counter()
+    results = session.run_many(workloads, max_workers=jobs)
+    batch_wall_s = time.perf_counter() - started
+
+    for name, workload, result in zip(names, workloads, results):
+        exploration = result.exploration
+        per_workload[name] = {
+            "kernel": workload.name,
+            "device": workload.device.name,
+            "frame": [workload.frame_width, workload.frame_height],
+            "iterations": workload.iterations,
+            "design_points": len(exploration.design_points),
+            "pareto_points": len(exploration.pareto),
+            "synthesis_runs": exploration.synthesis_runs,
+            "synthesis_runs_avoided": exploration.synthesis_runs_avoided,
+            "tool_runtime_spent_s": exploration.tool_runtime_spent_s,
+            "tool_runtime_avoided_s": exploration.tool_runtime_avoided_s,
+        }
+
+    stats = session.stats
+    return {
+        "wall_time_s": batch_wall_s,
+        "session": stats.to_dict(),
+        "workloads": per_workload,
+    }
+
+
+def run_pytest_suite() -> dict:
+    """Optionally run the pytest benchmark suite and time it."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (os.path.join(REPO_ROOT, "src") + os.pathsep
+                         + env.get("PYTHONPATH", ""))
+    # bench_*.py does not match pytest's default file pattern, so pass the
+    # module files explicitly.
+    modules = sorted(glob.glob(os.path.join(REPO_ROOT, "benchmarks",
+                                            "bench_*.py")))
+    started = time.perf_counter()
+    completed = subprocess.run(
+        [sys.executable, "-m", "pytest", "-q", *modules],
+        env=env, cwd=os.path.join(REPO_ROOT, "benchmarks"),
+        capture_output=True, text=True)
+    return {
+        "wall_time_s": time.perf_counter() - started,
+        "returncode": completed.returncode,
+        "tail": completed.stdout.strip().splitlines()[-3:],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("-o", "--output", default=None,
+                        help="snapshot path (default: BENCH_<date>.json in "
+                             "the repo root)")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker threads for the batch (default: auto)")
+    parser.add_argument("--pytest", action="store_true",
+                        help="also run the pytest benchmark suite")
+    args = parser.parse_args(argv)
+
+    modules = discover_bench_modules()
+    unmapped = [m for m in modules if m not in MODULE_WORKLOADS]
+    if unmapped:
+        print(f"warning: bench modules without a workload mapping: "
+              f"{', '.join(unmapped)}", file=sys.stderr)
+
+    print(f"running {len(WORKLOADS)} bench workloads through the batch API...")
+    batch = run_batch(args.jobs)
+    print(f"  batch wall time : {batch['wall_time_s']:.2f}s")
+    print(f"  synthesis runs  : {batch['session']['synthesis_runs']}")
+    print(f"  tool time saved : "
+          f"~{batch['session']['tool_runtime_avoided_s']:.0f}s")
+
+    snapshot = {
+        "date": _dt.date.today().isoformat(),
+        "python": sys.version.split()[0],
+        **batch,
+        "modules": {
+            module: {
+                "workloads": MODULE_WORKLOADS.get(module, []),
+            }
+            for module in modules
+        },
+    }
+
+    if args.pytest:
+        print("running the pytest benchmark suite...")
+        snapshot["pytest_suite"] = run_pytest_suite()
+        print(f"  suite wall time : "
+              f"{snapshot['pytest_suite']['wall_time_s']:.2f}s "
+              f"(exit {snapshot['pytest_suite']['returncode']})")
+
+    output = args.output or os.path.join(
+        REPO_ROOT, f"BENCH_{snapshot['date']}.json")
+    with open(output, "w", encoding="utf-8") as handle:
+        json.dump(snapshot, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

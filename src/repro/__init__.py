@@ -16,19 +16,45 @@ The package implements the full flow of the paper:
 * the cone-architecture template (:mod:`repro.architecture`), functional and
   cycle-level simulators plus the frame-buffer baseline
   (:mod:`repro.simulation`), the commercial-HLS and literature baselines
-  (:mod:`repro.baselines`), the case-study algorithms
-  (:mod:`repro.algorithms`), and the end-to-end driver (:mod:`repro.flow`).
+  (:mod:`repro.baselines`), and the case-study algorithms
+  (:mod:`repro.algorithms`).
+
+The user-facing surface is the composable API of :mod:`repro.api`: declare a
+:class:`Workload`, run it in a :class:`Session` (which caches cone
+characterizations across workloads), and every result round-trips through
+JSON.
 
 Quick start::
 
-    from repro import HlsFlow, FlowOptions, get_algorithm
+    from repro import FlowResult, Session, Workload
 
-    spec = get_algorithm("blur")                 # iterative Gaussian filter
-    flow = HlsFlow(spec.kernel(),
-                   FlowOptions(iterations=spec.default_iterations))
-    result = flow.run()
+    session = Session()
+    result = session.run(Workload.from_algorithm("blur"))
     for point in result.pareto:
         print(point.summary())
+
+Batches share the expensive characterization/calibration work::
+
+    results = session.run_many([
+        Workload.from_algorithm("blur"),
+        Workload.from_algorithm("blur", frame_width=640, frame_height=480),
+        Workload.from_algorithm("jacobi"),
+    ])
+    print(session.stats.synthesis_runs)   # one run per unique cone shape
+
+Everything serializes::
+
+    import json
+    payload = json.dumps(result.to_dict())
+    restored = FlowResult.from_dict(json.loads(payload))
+
+The same pipeline is scriptable from the shell: ``python -m repro list``,
+``python -m repro explore blur --json``, ``python -m repro codegen blur
+--out vhdl/``, ``python -m repro sweep --algorithms blur,jacobi
+--frames 640x480,1024x768``.
+
+The pre-1.1 entry point (``HlsFlow(kernel, FlowOptions(...)).run()``) keeps
+working as a thin shim over the new API — see :mod:`repro.flow.hls_flow`.
 """
 
 from repro.frontend import (
@@ -59,9 +85,20 @@ from repro.simulation import (
 )
 from repro.baselines import CommercialHlsTool, HlsConfiguration, literature_design
 from repro.algorithms import ALGORITHMS, get_algorithm, list_algorithms
-from repro.flow import HlsFlow, FlowOptions, FlowResult
+from repro.api import (
+    FlowOptions,
+    FlowResult,
+    Pipeline,
+    PipelineError,
+    Session,
+    SessionEvent,
+    SessionStats,
+    Workload,
+    default_session,
+)
+from repro.flow import HlsFlow
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "StencilKernel",
@@ -95,6 +132,13 @@ __all__ = [
     "ALGORITHMS",
     "get_algorithm",
     "list_algorithms",
+    "Workload",
+    "Pipeline",
+    "PipelineError",
+    "Session",
+    "SessionEvent",
+    "SessionStats",
+    "default_session",
     "HlsFlow",
     "FlowOptions",
     "FlowResult",

@@ -1,0 +1,56 @@
+"""The composable public API of the flow.
+
+Three concepts:
+
+* :class:`Workload` — a declarative, hashable description of one flow
+  invocation (kernel or C source + device + data format + frame geometry +
+  iterations + constraints);
+* :class:`Pipeline` — the staged flow (``frontend`` → ``analyze`` →
+  ``characterize`` → ``explore`` → ``pareto`` → ``codegen``) over one
+  workload, each stage independently runnable and producing a serializable
+  artifact;
+* :class:`Session` — cached, batched execution: workloads sharing a
+  characterization key reuse cone characterizations and calibrations instead
+  of re-running the synthesizer, and :meth:`Session.run_many` fans batches
+  out over a thread pool.
+
+Quick start::
+
+    from repro.api import Session, Workload
+
+    session = Session()
+    result = session.run(Workload.from_algorithm("blur"))
+    for point in result.pareto:
+        print(point.summary())
+"""
+
+from repro.api.results import FlowOptions, FlowResult
+from repro.api.workload import Workload
+from repro.api.pipeline import (
+    Pipeline,
+    PipelineError,
+    STAGE_NAMES,
+    build_explorer,
+    generate_vhdl_files,
+)
+from repro.api.session import (
+    Session,
+    SessionEvent,
+    SessionStats,
+    default_session,
+)
+
+__all__ = [
+    "FlowOptions",
+    "FlowResult",
+    "Workload",
+    "Pipeline",
+    "PipelineError",
+    "STAGE_NAMES",
+    "build_explorer",
+    "generate_vhdl_files",
+    "Session",
+    "SessionEvent",
+    "SessionStats",
+    "default_session",
+]

@@ -1,0 +1,390 @@
+"""Command-line interface: ``python -m repro``.
+
+Subcommands
+-----------
+
+``list``
+    Show the registered algorithms (and, with ``--devices``, the device
+    catalog).
+``explore``
+    Run the staged flow for one algorithm and print the Pareto set (or, with
+    ``--json``, the full serialized :class:`FlowResult`).
+``codegen``
+    Generate the VHDL of a design point (best fitting by default) into a
+    directory or list the files that would be produced.
+``sweep``
+    Batch-explore several algorithms / frame sizes / devices through one
+    session, sharing cone characterizations, and report per-workload results
+    plus session statistics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence, Tuple
+
+from repro.algorithms import ALGORITHMS, get_algorithm
+from repro.api.session import Session, SessionEvent
+from repro.api.workload import DEFAULT_OPTIONS, Workload
+from repro.dse.constraints import DseConstraints
+from repro.ir.operators import DataFormat
+from repro.synth.fpga_device import DEVICE_CATALOG, device_by_name
+
+#: argparse defaults are derived from the flow's single default source
+_FRAME = f"{DEFAULT_OPTIONS.frame_width}x{DEFAULT_OPTIONS.frame_height}"
+_DEVICE = DEFAULT_OPTIONS.device.name
+_FORMAT = DEFAULT_OPTIONS.data_format.value
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except (KeyError, ValueError) as error:
+        # str(KeyError) is the repr of its argument (extra quotes); unwrap
+        message = (error.args[0] if isinstance(error, KeyError) and error.args
+                   else error)
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # e.g. `python -m repro ... | head`: die quietly like other CLIs
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 141
+
+
+# ---------------------------------------------------------------------- #
+# parser
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Cone-based HLS flow for iterative stencil loops "
+                    "(DAC 2013 reproduction).")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    list_cmd = commands.add_parser(
+        "list", help="list registered algorithms (and devices)")
+    list_cmd.add_argument("--devices", action="store_true",
+                          help="also list the FPGA device catalog")
+    list_cmd.add_argument("--json", action="store_true",
+                          help="emit machine-readable JSON")
+    list_cmd.set_defaults(handler=cmd_list)
+
+    explore = commands.add_parser(
+        "explore", help="explore the design space of one algorithm")
+    _add_workload_arguments(explore)
+    explore.add_argument("--json", action="store_true",
+                         help="emit the full FlowResult as JSON")
+    explore.add_argument("-o", "--output", metavar="FILE",
+                         help="write the JSON payload to FILE")
+    explore.set_defaults(handler=cmd_explore)
+
+    codegen = commands.add_parser(
+        "codegen", help="generate VHDL for a design point")
+    _add_workload_arguments(codegen)
+    codegen.add_argument("--point", metavar="LABEL",
+                         help="architecture label to generate "
+                              "(default: best point fitting the device)")
+    codegen.add_argument("--out", metavar="DIR",
+                         help="directory to write the VHDL files into "
+                              "(default: list files without writing)")
+    codegen.add_argument("--json", action="store_true",
+                         help="emit the file manifest as JSON")
+    codegen.set_defaults(handler=cmd_codegen)
+
+    sweep = commands.add_parser(
+        "sweep", help="batch-explore algorithms x frame sizes x devices")
+    sweep.add_argument("--algorithms", default="blur",
+                       help="comma-separated registry names (default: blur)")
+    sweep.add_argument("--frames", default=_FRAME,
+                       help="comma-separated WxH frame sizes "
+                            f"(default: {_FRAME})")
+    sweep.add_argument("--devices", default=_DEVICE,
+                       help="comma-separated device part names "
+                            f"(default: {_DEVICE})")
+    sweep.add_argument("--iterations", type=int, default=None,
+                       help="iteration count override (default: per-algorithm)")
+    sweep.add_argument("--windows", default=None,
+                       help="comma-separated cone window sides")
+    sweep.add_argument("--max-depth", type=int,
+                       default=DEFAULT_OPTIONS.max_depth)
+    sweep.add_argument("--jobs", type=int, default=None,
+                       help="worker threads for the batch (default: auto)")
+    sweep.add_argument("--json", action="store_true",
+                       help="emit per-workload summaries plus session stats "
+                            "as JSON")
+    sweep.add_argument("-o", "--output", metavar="FILE",
+                       help="write the JSON payload to FILE")
+    sweep.add_argument("--quiet", action="store_true",
+                       help="suppress progress events on stderr")
+    sweep.set_defaults(handler=cmd_sweep)
+
+    return parser
+
+
+def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("algorithm", help="registry algorithm name "
+                                          "(see `python -m repro list`)")
+    parser.add_argument("--frame", default=_FRAME, metavar="WxH",
+                        help=f"frame size (default: {_FRAME})")
+    parser.add_argument("--iterations", type=int, default=None,
+                        help="total iteration count "
+                             "(default: the algorithm's)")
+    parser.add_argument("--device", default=_DEVICE,
+                        help=f"FPGA part name (default: {_DEVICE})")
+    parser.add_argument("--format", default=_FORMAT,
+                        choices=[f.value for f in DataFormat],
+                        help=f"datapath number format (default: {_FORMAT})")
+    parser.add_argument("--windows", default=None,
+                        help="comma-separated cone window sides "
+                             "(default: 1..9)")
+    parser.add_argument("--max-depth", type=int,
+                        default=DEFAULT_OPTIONS.max_depth,
+                        help="maximum cone depth "
+                             f"(default: {DEFAULT_OPTIONS.max_depth})")
+    parser.add_argument("--max-cones", type=int,
+                        default=DEFAULT_OPTIONS.max_cones_per_depth,
+                        help="maximum cone instances per depth "
+                             f"(default: {DEFAULT_OPTIONS.max_cones_per_depth})")
+    parser.add_argument("--synthesize-all", action="store_true",
+                        help="synthesize every cone instead of using the "
+                             "Equation-1 estimate")
+    parser.add_argument("--min-fps", type=float, default=None,
+                        help="throughput constraint (frames per second)")
+    parser.add_argument("--max-area-kluts", type=float, default=None,
+                        help="area constraint (kLUTs)")
+    parser.add_argument("--device-only", action="store_true",
+                        help="keep only design points fitting the device")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress progress events on stderr")
+
+
+# ---------------------------------------------------------------------- #
+# argument helpers
+
+
+def parse_frame(text: str) -> Tuple[int, int]:
+    try:
+        width, height = (int(part) for part in text.lower().split("x"))
+    except ValueError:
+        raise ValueError(f"invalid frame size {text!r}; expected WxH, "
+                         f"e.g. 1024x768") from None
+    if width < 1 or height < 1:
+        raise ValueError(f"frame must be at least 1x1 (got {text})")
+    return width, height
+
+
+def parse_windows(text: Optional[str]) -> Optional[Tuple[int, ...]]:
+    if text is None:
+        return None
+    return tuple(int(part) for part in text.split(",") if part.strip())
+
+
+def _constraints_from(args: argparse.Namespace) -> Optional[DseConstraints]:
+    if (args.min_fps is None and args.max_area_kluts is None
+            and not args.device_only):
+        return None
+    return DseConstraints(
+        min_frames_per_second=args.min_fps,
+        max_area_luts=(None if args.max_area_kluts is None
+                       else args.max_area_kluts * 1000.0),
+        device_only=args.device_only,
+    )
+
+
+def workload_from_args(args: argparse.Namespace) -> Workload:
+    frame_width, frame_height = parse_frame(args.frame)
+    windows = parse_windows(args.windows)
+    keywords = dict(
+        device=device_by_name(args.device),
+        data_format=DataFormat(args.format),
+        frame_width=frame_width,
+        frame_height=frame_height,
+        iterations=args.iterations,
+        max_depth=args.max_depth,
+        max_cones_per_depth=args.max_cones,
+        synthesize_all=args.synthesize_all,
+        constraints=_constraints_from(args),
+    )
+    if windows is not None:
+        keywords["window_sides"] = windows
+    return Workload.from_algorithm(args.algorithm, **keywords)
+
+
+def _session(args: argparse.Namespace) -> Session:
+    quiet = getattr(args, "quiet", False) or getattr(args, "json", False)
+    if quiet:
+        return Session()
+    return Session(on_event=_print_event)
+
+
+def _print_event(event: SessionEvent) -> None:
+    if event.kind == "stage-finished":
+        print(f"  [{event.workload.name}] {event.stage:<12} "
+              f"{event.elapsed_s:7.3f}s", file=sys.stderr)
+    elif event.kind == "cache-hit":
+        print(f"  [{event.workload.name}] characterization cache hit",
+              file=sys.stderr)
+    elif event.kind == "workload-failed":
+        print(f"  [{event.workload.name}] FAILED: {event.detail}",
+              file=sys.stderr)
+
+
+def _write_payload(payload: object, args: argparse.Namespace) -> None:
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    output = getattr(args, "output", None)
+    if output:
+        with open(output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {output}", file=sys.stderr)
+    else:
+        print(text)
+
+
+# ---------------------------------------------------------------------- #
+# subcommands
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    if args.json:
+        payload = {
+            "algorithms": {
+                name: {"description": spec.description,
+                       "default_iterations": spec.default_iterations,
+                       "paper_section": spec.paper_section}
+                for name, spec in sorted(ALGORITHMS.items())
+            },
+        }
+        if args.devices:
+            payload["devices"] = {name: device.to_dict()
+                                  for name, device in
+                                  sorted(DEVICE_CATALOG.items())}
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print("registered algorithms:")
+    for name, spec in sorted(ALGORITHMS.items()):
+        print(f"  {name:<10} {spec.description} "
+              f"(default {spec.default_iterations} iterations)")
+    if args.devices:
+        print()
+        print("device catalog:")
+        for name, device in sorted(DEVICE_CATALOG.items()):
+            print(f"  {name:<12} {device.family:<14} "
+                  f"{device.slice_luts:>8} LUTs, "
+                  f"{device.typical_clock_hz / 1e6:6.1f} MHz")
+    return 0
+
+
+def cmd_explore(args: argparse.Namespace) -> int:
+    workload = workload_from_args(args)
+    session = _session(args)
+    result = session.run(workload)
+    if args.json or args.output:
+        _write_payload(result.to_dict(), args)
+        return 0
+    from repro.flow.report import flow_summary, pareto_table
+    print(flow_summary(result.exploration))
+    print()
+    print(pareto_table(result.pareto))
+    return 0
+
+
+def cmd_codegen(args: argparse.Namespace) -> int:
+    import os
+
+    workload = workload_from_args(args)
+    session = _session(args)
+    result = session.run(workload)
+    point = (result.point_by_label(args.point) if args.point
+             else result.best_fitting_point())
+    if point is None:
+        print("error: no design point fits the device; relax the "
+              "constraints or pick --point explicitly", file=sys.stderr)
+        return 1
+    files = session.generate_vhdl(workload, point=point)
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+        for name, code in sorted(files.items()):
+            with open(os.path.join(args.out, name), "w",
+                      encoding="utf-8") as handle:
+                handle.write(code)
+        print(f"wrote {len(files)} VHDL files for {point.label} "
+              f"to {args.out}")
+    elif args.json:
+        print(json.dumps({"point": point.to_dict(),
+                          "files": {name: len(code)
+                                    for name, code in sorted(files.items())}},
+                         indent=2, sort_keys=True))
+    else:
+        print(f"design point: {point.summary()}")
+        for name, code in sorted(files.items()):
+            print(f"  {name} ({len(code.splitlines())} lines)")
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    algorithms = [name.strip() for name in args.algorithms.split(",")
+                  if name.strip()]
+    frames = [parse_frame(part) for part in args.frames.split(",")
+              if part.strip()]
+    devices = [device_by_name(name.strip())
+               for name in args.devices.split(",") if name.strip()]
+    windows = parse_windows(args.windows)
+    workloads: List[Workload] = []
+    for name in algorithms:
+        get_algorithm(name)  # fail fast on unknown names
+        for device in devices:
+            for frame_width, frame_height in frames:
+                keywords = dict(device=device,
+                                frame_width=frame_width,
+                                frame_height=frame_height,
+                                iterations=args.iterations,
+                                max_depth=args.max_depth)
+                if windows is not None:
+                    keywords["window_sides"] = windows
+                workloads.append(Workload.from_algorithm(name, **keywords))
+
+    session = _session(args)
+    results = session.run_many(workloads, max_workers=args.jobs)
+    stats = session.stats
+
+    summaries = []
+    for workload, result in zip(workloads, results):
+        best = result.best_fitting_point()
+        summaries.append({
+            "algorithm": workload.algorithm,
+            "kernel": workload.name,
+            "device": workload.device.name,
+            "frame": [workload.frame_width, workload.frame_height],
+            "iterations": workload.iterations,
+            "design_points": len(result.design_points),
+            "pareto_points": len(result.pareto),
+            "synthesis_runs": result.exploration.synthesis_runs,
+            "best_fitting": None if best is None else best.to_dict(),
+        })
+    payload = {"workloads": summaries, "session": stats.to_dict()}
+
+    if args.json or args.output:
+        _write_payload(payload, args)
+        return 0
+    print(f"swept {len(workloads)} workloads "
+          f"({len(algorithms)} algorithms x {len(frames)} frames x "
+          f"{len(devices)} devices)")
+    for summary in summaries:
+        best = summary["best_fitting"]
+        fps = ("-" if best is None
+               else f"{best['performance']['frames_per_second']:8.2f} fps")
+        print(f"  {summary['kernel']:<10} {summary['device']:<12} "
+              f"{summary['frame'][0]}x{summary['frame'][1]:<5} "
+              f"{summary['design_points']:>5} points  best {fps}")
+    print(f"synthesis runs: {stats.synthesis_runs} "
+          f"(cache hits {stats.characterization_cache_hits}, "
+          f"tool time avoided ~{stats.tool_runtime_avoided_s:.0f}s)")
+    return 0

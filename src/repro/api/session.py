@@ -1,0 +1,422 @@
+"""Sessions: cached, batched execution of workloads.
+
+A :class:`Session` owns a characterization/calibration cache keyed by
+:meth:`Workload.characterization_key` — ``(kernel fingerprint, device, data
+format, cone-shape knobs)``.  Workloads that share a key share one
+:class:`DesignSpaceExplorer` (and hence its synthesizer and its per-iteration
+characterization cache), so exploring the same kernel on several frame sizes,
+or sweeping constraints, never re-synthesizes a cone shape that has already
+been characterized.
+
+:meth:`Session.run_many` fans a batch of workloads out over a thread pool
+(the flow is pure Python but the stages release no state between workloads;
+distinct kernels proceed in parallel while workloads sharing a
+characterization key are serialized on a per-key lock so the cache is filled
+exactly once).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.api.pipeline import (
+    Pipeline,
+    PipelineError,
+    STAGE_NAMES,
+    build_explorer,
+)
+from repro.api.results import FlowResult
+from repro.api.workload import Workload
+from repro.dse.design_point import DesignPoint
+from repro.dse.explorer import DesignSpaceExplorer, ExplorationResult
+
+
+@dataclass(frozen=True)
+class SessionEvent:
+    """One progress notification emitted by a session.
+
+    ``kind`` is one of ``workload-started``, ``stage-started``,
+    ``stage-finished``, ``workload-finished``, ``workload-failed``,
+    ``cache-hit``.  Callbacks registered on a session receive every event;
+    during :meth:`Session.run_many` they may be invoked from worker threads.
+    """
+
+    kind: str
+    workload: Workload
+    stage: Optional[str] = None
+    elapsed_s: Optional[float] = None
+    detail: str = ""
+
+
+@dataclass
+class SessionStats:
+    """Aggregate accounting across every workload a session has run."""
+
+    workloads_run: int = 0
+    workloads_failed: int = 0
+    characterization_cache_hits: int = 0
+    characterization_cache_misses: int = 0
+    synthesis_runs: int = 0
+    tool_runtime_spent_s: float = 0.0
+    tool_runtime_avoided_s: float = 0.0
+    #: Cumulative per-workload latency.  Under ``run_many`` this sums over
+    #: concurrent workers (including time blocked on shared-key locks), so
+    #: it can exceed real elapsed wall time — time the batch yourself for a
+    #: wall figure.
+    workload_time_s: float = 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready representation."""
+        return {
+            "workloads_run": self.workloads_run,
+            "workloads_failed": self.workloads_failed,
+            "characterization_cache_hits": self.characterization_cache_hits,
+            "characterization_cache_misses": self.characterization_cache_misses,
+            "synthesis_runs": self.synthesis_runs,
+            "tool_runtime_spent_s": self.tool_runtime_spent_s,
+            "tool_runtime_avoided_s": self.tool_runtime_avoided_s,
+            "workload_time_s": self.workload_time_s,
+        }
+
+
+class Session:
+    """Runs workloads through the staged pipeline with process-wide caching."""
+
+    def __init__(self, on_event: Optional[Callable[[SessionEvent], None]] = None
+                 ) -> None:
+        self._explorers: Dict[Tuple, DesignSpaceExplorer] = {}
+        self._key_locks: Dict[Tuple, threading.Lock] = {}
+        self._pipelines: Dict[Workload, Pipeline] = {}
+        #: Keys with work in flight (refcounts); evict() leaves them alone.
+        self._active_keys: Dict[Tuple, int] = {}
+        self._registry_lock = threading.Lock()
+        self._callbacks: List[Callable[[SessionEvent], None]] = []
+        self._stats = SessionStats()
+        # events raised while this thread holds a key lock are buffered here
+        # and flushed after release, so callbacks never run under internal
+        # locks (a re-entrant callback would deadlock otherwise)
+        self._deferred = threading.local()
+        if on_event is not None:
+            self._callbacks.append(on_event)
+
+    # ------------------------------------------------------------------ #
+    # events
+
+    def on_event(self, callback: Callable[[SessionEvent], None]) -> None:
+        """Register an additional progress/event callback."""
+        self._callbacks.append(callback)
+
+    def _emit(self, event: SessionEvent) -> None:
+        pending = getattr(self._deferred, "pending", None)
+        if pending is not None:
+            pending.append(event)
+            return
+        for callback in self._callbacks:
+            callback(event)
+
+    def _locked_section(self):
+        """Context manager buffering events raised inside internal locks."""
+        return _DeferredEvents(self)
+
+    # ------------------------------------------------------------------ #
+    # characterization cache
+
+    def explorer_for(self, workload: Workload) -> DesignSpaceExplorer:
+        """The cached explorer for a workload's characterization key.
+
+        Escape hatch for direct explorer use.  Unlike :meth:`run`, work done
+        on the returned object is not guarded against a concurrent
+        :meth:`evict` (its counters may be folded out from under it); on
+        sessions shared across threads, prefer :meth:`run`.
+        """
+        explorer, _ = self._explorer_entry(workload)
+        return explorer
+
+    def _explorer_entry(self, workload: Workload
+                        ) -> Tuple[DesignSpaceExplorer, threading.Lock]:
+        """Cached (explorer, lock) pair for the workload's key."""
+        key = workload.characterization_key()
+        with self._registry_lock:
+            explorer = self._explorers.get(key)
+            # Key locks outlive eviction (see evict()), so grab the lock
+            # while still holding the registry lock.
+            lock = self._key_locks.setdefault(key, threading.Lock())
+        if explorer is None:
+            # Build outside the registry lock — kernel validation and
+            # footprint analysis would otherwise serialize batch startup
+            # across distinct kernels.  A duplicate build from a racing
+            # thread is discarded by setdefault (it performs no synthesis).
+            built = build_explorer(workload)
+            with self._registry_lock:
+                explorer = self._explorers.setdefault(key, built)
+        return explorer, lock
+
+    @property
+    def cached_keys(self) -> List[Tuple]:
+        """Characterization keys currently held by the session."""
+        with self._registry_lock:
+            return list(self._explorers)
+
+    def evict(self, workload: Optional[Workload] = None) -> None:
+        """Release cached state to bound memory in long-lived sessions.
+
+        With a workload, drop only that workload's pipeline (its result and
+        stage artifacts); its characterizations stay shared.  Without one,
+        drop every pipeline and every *idle* explorer — keys with runs in
+        flight are left untouched — folding the synthesizer counters of
+        evicted explorers into :attr:`stats` so accounting survives
+        eviction.
+        """
+        with self._registry_lock:
+            if workload is not None:
+                self._pipelines.pop(workload, None)
+                return
+            self._pipelines.clear()
+            # Keys with work in flight keep their explorer, so a concurrent
+            # run never loses its synthesis accounting.
+            for key in [k for k in self._explorers
+                        if k not in self._active_keys]:
+                self._fold_explorer(self._stats, self._explorers.pop(key))
+            # _key_locks is deliberately kept: an in-flight run may hold one
+            # of these locks, and a post-evict rebuild of the same key must
+            # serialize against it rather than against a fresh lock.
+
+    # ------------------------------------------------------------------ #
+    # execution
+
+    def pipeline(self, workload: Workload) -> Pipeline:
+        """The pipeline over the workload wired to this session's cache.
+
+        Pipelines are cached per workload, so stages already run for an
+        equal workload (analyze, explore, ...) are not executed again by
+        later calls such as :meth:`generate_vhdl`.
+        """
+        explorer, _ = self._explorer_entry(workload)
+        with self._registry_lock:
+            pipeline = self._pipelines.get(workload)
+            if pipeline is None:
+
+                def observe(stage: str, status: str,
+                            elapsed: Optional[float]) -> None:
+                    self._emit(SessionEvent(f"stage-{status}", workload,
+                                            stage=stage, elapsed_s=elapsed))
+
+                pipeline = Pipeline(workload, explorer=explorer,
+                                    observer=observe)
+                self._pipelines[workload] = pipeline
+        return pipeline
+
+    def _mark_active(self, key: Tuple, delta: int) -> None:
+        with self._registry_lock:
+            count = self._active_keys.get(key, 0) + delta
+            if count > 0:
+                self._active_keys[key] = count
+            else:
+                self._active_keys.pop(key, None)
+
+    def run(self, workload: Workload, until: str = "pareto") -> Any:
+        """Run one workload through the pipeline stage ``until`` (default:
+        Pareto extraction) and return that stage's artifact — a
+        :class:`FlowResult` for the default, the respective stage artifact
+        (kernel, analysis dict, :class:`ExplorationResult`, ...) otherwise.
+
+        The heavy artifacts (design points, characterizations) of equal
+        workloads are cached and shared, but each call returns a fresh
+        result wrapper with freshly copied point/Pareto lists, so in-place
+        reordering or filtering by one caller never corrupts the cache or
+        another caller's view.  Treat the shared entries themselves
+        (individual characterizations) as read-only.
+        """
+        if until not in STAGE_NAMES:
+            raise PipelineError(
+                f"unknown stage {until!r}; stages are "
+                f"{', '.join(STAGE_NAMES)}")
+        started = time.perf_counter()
+        key = workload.characterization_key()
+        self._emit(SessionEvent("workload-started", workload))
+        try:
+            # Mark the key in flight before the explorer becomes reachable,
+            # so a concurrent evict() can never fold-and-drop an explorer
+            # this run is about to use.
+            self._mark_active(key, +1)
+            try:
+                explorer, lock = self._explorer_entry(workload)
+                pipeline = self.pipeline(workload)
+                needs_characterization = (STAGE_NAMES.index(until)
+                                          >= STAGE_NAMES.index("characterize"))
+                if needs_characterization:
+                    # Serialize only the characterize stage across workloads
+                    # sharing a key, so the expensive synthesis/calibration
+                    # work happens exactly once while per-frame explorations
+                    # still run in parallel.  Events raised inside the lock
+                    # are buffered and delivered after release.
+                    with self._locked_section(), lock:
+                        runs_before = explorer.synthesizer.runs
+                        pipeline.run_stage("characterize")
+                        # Ground-truth accounting: a hit means this run's
+                        # characterization needed no new synthesis — partial
+                        # reuse (e.g. new depth families for a higher
+                        # iteration count) honestly counts as a miss.
+                        hit = explorer.synthesizer.runs == runs_before
+                        with self._registry_lock:
+                            if hit:
+                                self._stats.characterization_cache_hits += 1
+                            else:
+                                self._stats.characterization_cache_misses += 1
+                        if hit:
+                            self._emit(SessionEvent(
+                                "cache-hit", workload,
+                                detail="shared cone characterization"))
+                result = _defensive_copy(pipeline.run_stage(until))
+            finally:
+                self._mark_active(key, -1)
+        except Exception as error:
+            with self._registry_lock:
+                self._stats.workloads_failed += 1
+            self._emit(SessionEvent("workload-failed", workload,
+                                    elapsed_s=time.perf_counter() - started,
+                                    detail=str(error)))
+            raise
+        elapsed = time.perf_counter() - started
+        with self._registry_lock:
+            self._stats.workloads_run += 1
+            self._stats.workload_time_s += elapsed
+        self._emit(SessionEvent("workload-finished", workload,
+                                elapsed_s=elapsed))
+        return result
+
+    def run_many(self, workloads: Sequence[Workload],
+                 max_workers: Optional[int] = None) -> List[FlowResult]:
+        """Run a batch of workloads, sharing characterizations across them.
+
+        Results are returned in input order.  Workloads with distinct
+        characterization keys run concurrently on a thread pool; the first
+        failure is re-raised after the batch completes scheduling.
+        """
+        workloads = list(workloads)
+        if not workloads:
+            return []
+        if max_workers is None:
+            max_workers = min(len(workloads), max(2, (os.cpu_count() or 2)))
+        if max_workers <= 1 or len(workloads) == 1:
+            return [self.run(w) for w in workloads]
+        with ThreadPoolExecutor(max_workers=max_workers,
+                                thread_name_prefix="repro-session") as pool:
+            return list(pool.map(self.run, workloads))
+
+    def generate_vhdl(self, workload: Workload,
+                      point: Optional[DesignPoint] = None,
+                      fractional_bits: int = 12) -> Dict[str, str]:
+        """Run the codegen stage for a workload (reusing cached stages)."""
+        key = workload.characterization_key()
+        self._mark_active(key, +1)
+        try:
+            _, lock = self._explorer_entry(workload)
+            pipeline = self.pipeline(workload)
+            # hold the key lock only for the shared characterize step, as
+            # run() does; the pipeline's own lock serializes the rest, so
+            # codegen for sibling workloads proceeds in parallel
+            with self._locked_section(), lock:
+                pipeline.run_stage("characterize")
+            return pipeline.run_stage("codegen", point=point,
+                                      fractional_bits=fractional_bits)
+        finally:
+            self._mark_active(key, -1)
+
+    # ------------------------------------------------------------------ #
+    # accounting
+
+    @property
+    def stats(self) -> SessionStats:
+        """Aggregated counters, including synthesizer totals of every cached
+        explorer."""
+        with self._registry_lock:
+            # full-field snapshot (includes counters folded in from
+            # explorers evicted earlier)
+            stats = dataclasses.replace(self._stats)
+            explorers = list(self._explorers.values())
+        for explorer in explorers:
+            self._fold_explorer(stats, explorer)
+        return stats
+
+    @staticmethod
+    def _fold_explorer(stats: SessionStats,
+                       explorer: DesignSpaceExplorer) -> None:
+        """Fold one explorer's synthesizer counters into a stats object."""
+        stats.synthesis_runs += explorer.synthesizer.runs
+        stats.tool_runtime_spent_s += explorer.synthesizer.total_tool_runtime_s
+        stats.tool_runtime_avoided_s += explorer.tool_runtime_avoided_total_s()
+
+
+class _DeferredEvents:
+    """Buffers a session's events for the current thread, flushing on exit
+    (outside whatever lock the with-block holds)."""
+
+    def __init__(self, session: "Session") -> None:
+        self._session = session
+        self._outermost = False
+
+    def __enter__(self) -> "_DeferredEvents":
+        if getattr(self._session._deferred, "pending", None) is None:
+            self._session._deferred.pending = []
+            self._outermost = True
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        if not self._outermost:
+            return
+        pending = self._session._deferred.pending
+        self._session._deferred.pending = None
+        for event in pending:
+            self._session._emit(event)
+
+
+def _defensive_copy(artifact: Any) -> Any:
+    """Fresh wrapper with copied containers over shared entries.
+
+    Shields the pipeline's cached stage artifacts from in-place mutation of
+    the containers callers naturally reorder/filter; the frozen design
+    points and the (read-only by contract) characterization entries stay
+    shared.  Artifacts with no mutable containers (the kernel) pass through.
+    """
+    if isinstance(artifact, FlowResult):
+        return dataclasses.replace(
+            artifact, exploration=_defensive_copy(artifact.exploration))
+    if isinstance(artifact, ExplorationResult):
+        return dataclasses.replace(
+            artifact,
+            characterizations=dict(artifact.characterizations),
+            design_points=list(artifact.design_points),
+            pareto=list(artifact.pareto),
+            area_validations=dict(artifact.area_validations),
+        )
+    if isinstance(artifact, dict):
+        # one level of container copying: the characterize artifact nests
+        # the dicts a caller would naturally filter
+        return {key: (dict(value) if isinstance(value, dict)
+                      else list(value) if isinstance(value, list) else value)
+                for key, value in artifact.items()}
+    return artifact
+
+
+#: Lazily created process-wide session for library callers that want
+#: cross-call characterization caching without passing a Session around.
+#: (Each ``python -m repro`` invocation is its own process and builds its
+#: own session instead.)
+_default_session: Optional[Session] = None
+_default_session_lock = threading.Lock()
+
+
+def default_session() -> Session:
+    """The process-wide shared session (created on first use)."""
+    global _default_session
+    with _default_session_lock:
+        if _default_session is None:
+            _default_session = Session()
+        return _default_session

@@ -35,6 +35,14 @@ class ConeShape:
         """Human-readable identifier matching the paper's naming style."""
         return f"{kernel_name}_{self.window_area}_d{self.depth}"
 
+    def to_dict(self) -> dict:
+        """JSON-ready representation."""
+        return {"window_side": self.window_side, "depth": self.depth}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ConeShape":
+        return cls(window_side=data["window_side"], depth=data["depth"])
+
     def geometry(self, radius: int, components: int = 1) -> "ConeGeometry":
         return ConeGeometry(self, radius, components)
 

@@ -176,6 +176,28 @@ class ConeArchitecture:
 
     # ------------------------------------------------------------------ #
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready representation (depth keys become strings)."""
+        return {
+            "kernel_name": self.kernel_name,
+            "window_side": self.window_side,
+            "level_depths": list(self.level_depths),
+            "cone_counts": {str(d): c for d, c in self.cone_counts.items()},
+            "radius": self.radius,
+            "components": self.components,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "ConeArchitecture":
+        return cls(
+            kernel_name=data["kernel_name"],
+            window_side=data["window_side"],
+            level_depths=list(data["level_depths"]),
+            cone_counts={int(d): c for d, c in data["cone_counts"].items()},
+            radius=data["radius"],
+            components=data.get("components", 1),
+        )
+
     def label(self) -> str:
         """Identifier in the style of the paper's tables (e.g. ``blur_16_d5x2``)."""
         depth_part = "x".join(str(d) for d in self.level_depths)

@@ -32,3 +32,15 @@ class DseConstraints:
                 and point.area_luts > self.max_area_luts):
             return False
         return True
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation."""
+        return {"min_frames_per_second": self.min_frames_per_second,
+                "max_area_luts": self.max_area_luts,
+                "device_only": self.device_only}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DseConstraints":
+        return cls(min_frames_per_second=data.get("min_frames_per_second"),
+                   max_area_luts=data.get("max_area_luts"),
+                   device_only=data.get("device_only", False))

@@ -58,3 +58,30 @@ class DesignPoint:
                 f"{self.seconds_per_frame * 1e3:8.3f} ms/frame "
                 f"({self.frames_per_second:6.2f} fps)"
                 f"{'' if self.fits_device else '  [exceeds device]'}")
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready representation."""
+        return {
+            "architecture": self.architecture.to_dict(),
+            "area_luts": self.area_luts,
+            "area_estimated": self.area_estimated,
+            "performance": self.performance.to_dict(),
+            "fits_device": self.fits_device,
+            "cone_area_by_depth": (
+                None if self.cone_area_by_depth is None
+                else {str(d): a for d, a in self.cone_area_by_depth.items()}),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "DesignPoint":
+        cone_area = data.get("cone_area_by_depth")
+        return cls(
+            architecture=ConeArchitecture.from_dict(data["architecture"]),
+            area_luts=data["area_luts"],
+            area_estimated=data["area_estimated"],
+            performance=ArchitecturePerformance.from_dict(data["performance"]),
+            fits_device=data["fits_device"],
+            cone_area_by_depth=(
+                None if cone_area is None
+                else {int(d): a for d, a in cone_area.items()}),
+        )

@@ -10,6 +10,7 @@ candidate architecture, and extracts the Pareto set.
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -51,6 +52,9 @@ class ConeCharacterization:
     actual_area_luts: Optional[float] = None
     latency_cycles: int = 1
     synthesized: bool = False
+    #: Simulated tool runtime of this shape's synthesis run (0 when the
+    #: shape was only estimated).
+    tool_runtime_s: float = 0.0
 
     @property
     def area_luts(self) -> float:
@@ -62,6 +66,34 @@ class ConeCharacterization:
     @property
     def window_area(self) -> int:
         return self.shape.window_area
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready representation."""
+        return {
+            "shape": self.shape.to_dict(),
+            "register_count": self.register_count,
+            "operation_count": self.operation_count,
+            "critical_path_depth": self.critical_path_depth,
+            "estimated_area_luts": self.estimated_area_luts,
+            "actual_area_luts": self.actual_area_luts,
+            "latency_cycles": self.latency_cycles,
+            "synthesized": self.synthesized,
+            "tool_runtime_s": self.tool_runtime_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "ConeCharacterization":
+        return cls(
+            shape=ConeShape.from_dict(data["shape"]),
+            register_count=data["register_count"],
+            operation_count=data["operation_count"],
+            critical_path_depth=data["critical_path_depth"],
+            estimated_area_luts=data["estimated_area_luts"],
+            actual_area_luts=data["actual_area_luts"],
+            latency_cycles=data["latency_cycles"],
+            synthesized=data["synthesized"],
+            tool_runtime_s=data.get("tool_runtime_s", 0.0),
+        )
 
 
 @dataclass
@@ -103,6 +135,67 @@ class ExplorationResult:
             points = [p for p in points if p.primary_depth == primary_depth]
         return points
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready representation of the full exploration outcome.
+
+        Pareto points are stored as indices into ``design_points`` so the
+        deserialized Pareto set is the *same* subset (object identity within
+        the result) rather than a parallel copy.
+        """
+        index_by_id = {id(p): i for i, p in enumerate(self.design_points)}
+        pareto: List[object] = []
+        for point in self.pareto:
+            position = index_by_id.get(id(point))
+            pareto.append(point.to_dict() if position is None else position)
+        return {
+            "kernel_name": self.kernel_name,
+            "device_name": self.device_name,
+            "frame_width": self.frame_width,
+            "frame_height": self.frame_height,
+            "total_iterations": self.total_iterations,
+            "properties": self.properties.to_dict(),
+            "characterizations": [c.to_dict()
+                                  for c in self.characterizations.values()],
+            "design_points": [p.to_dict() for p in self.design_points],
+            "pareto": pareto,
+            "area_validations": {str(d): v.to_dict()
+                                 for d, v in self.area_validations.items()},
+            "synthesis_runs": self.synthesis_runs,
+            "synthesis_runs_avoided": self.synthesis_runs_avoided,
+            "tool_runtime_spent_s": self.tool_runtime_spent_s,
+            "tool_runtime_avoided_s": self.tool_runtime_avoided_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "ExplorationResult":
+        characterizations = {}
+        for entry in data["characterizations"]:
+            characterization = ConeCharacterization.from_dict(entry)
+            shape = characterization.shape
+            characterizations[(shape.window_side, shape.depth)] = characterization
+        design_points = [DesignPoint.from_dict(p)
+                         for p in data["design_points"]]
+        pareto = [design_points[entry] if isinstance(entry, int)
+                  else DesignPoint.from_dict(entry)
+                  for entry in data["pareto"]]
+        return cls(
+            kernel_name=data["kernel_name"],
+            device_name=data["device_name"],
+            frame_width=data["frame_width"],
+            frame_height=data["frame_height"],
+            total_iterations=data["total_iterations"],
+            properties=KernelProperties.from_dict(data["properties"]),
+            characterizations=characterizations,
+            design_points=design_points,
+            pareto=pareto,
+            area_validations={int(d): AreaModelValidation.from_dict(v)
+                              for d, v in data["area_validations"].items()},
+            synthesis_runs=data["synthesis_runs"],
+            synthesis_runs_avoided=data["synthesis_runs_avoided"],
+            tool_runtime_spent_s=data["tool_runtime_spent_s"],
+            tool_runtime_avoided_s=data["tool_runtime_avoided_s"],
+        )
+
 
 class DesignSpaceExplorer:
     """Runs the estimation + exploration phase of the flow for one kernel."""
@@ -124,13 +217,24 @@ class DesignSpaceExplorer:
         self.window_sides = tuple(sorted(set(window_sides)))
         self.max_depth = max_depth
         self.max_cones_per_depth = max_cones_per_depth
-        self.calibration_windows_per_depth = max(2, calibration_windows_per_depth)
+        # Equation 1 interpolates alpha between at least two reference
+        # syntheses per depth; fewer calibration windows cannot anchor the
+        # model, so reject the setting instead of silently raising it.
+        if calibration_windows_per_depth < 2:
+            raise ValueError(
+                f"calibration_windows_per_depth must be >= 2 (got "
+                f"{calibration_windows_per_depth}): the Equation-1 area model "
+                "needs at least two reference syntheses per cone depth to "
+                "calibrate alpha")
+        self.calibration_windows_per_depth = calibration_windows_per_depth
         self.synthesize_all = synthesize_all
         self.properties = validate_kernel(kernel)
         self.cone_builder = ConeExpressionBuilder(kernel, params)
         self.synthesizer = Synthesizer(device, self.library)
         readonly = sum(self.properties.components_per_field[name]
                        for name in self.properties.readonly_fields)
+        self._readonly_components = readonly
+        self.onchip_port_elements_per_cycle = onchip_port_elements_per_cycle
         self.throughput_model = ThroughputModel(
             device=device,
             data_format=data_format,
@@ -141,12 +245,16 @@ class DesignSpaceExplorer:
         #: that are not synthesised (their pipeline depth is derived from the
         #: expression-DAG depth).
         self.mean_operator_delay_ns = 2.1
-        # characterisations only depend on the iteration count (through the
-        # set of depths in the space), so repeated explorations — e.g. the
-        # same kernel evaluated on several frame sizes — reuse them.
-        self._characterization_cache: Dict[int, Tuple[
-            Dict[Tuple[int, int], ConeCharacterization],
-            Dict[int, AreaModelValidation]]] = {}
+        # Characterisations depend only on the cone shape, not on the frame
+        # size or the iteration count: the family cache shares the actual
+        # characterisation (and its synthesis runs) of each (depth, window
+        # family) across iteration counts; per-iteration shape tables are
+        # reassembled from it on demand (cheap).
+        self._family_cache: Dict[Tuple[int, Tuple[int, ...]], Tuple[
+            Dict[int, ConeCharacterization], AreaModelValidation]] = {}
+        # guards _family_cache against concurrent insert-vs-snapshot races
+        # (accounting reads may come from other threads mid-exploration)
+        self._cache_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     # phase 1: cone characterisation and area-model calibration
@@ -154,10 +262,13 @@ class DesignSpaceExplorer:
     def characterize_cones(self, total_iterations: int
                            ) -> Tuple[Dict[Tuple[int, int], ConeCharacterization],
                                       Dict[int, AreaModelValidation]]:
-        """Characterise every cone shape of the space; calibrate Equation 1."""
-        cached = self._characterization_cache.get(total_iterations)
-        if cached is not None:
-            return cached
+        """Characterise every cone shape of the space; calibrate Equation 1.
+
+        Characterisation (including the reference syntheses) is cached per
+        ``(depth, window family)``, so exploring the same kernel with a
+        different total iteration count only pays for depth families it has
+        not met before.
+        """
         space = self._space(total_iterations)
         shapes = space.distinct_shapes()
         characterizations: Dict[Tuple[int, int], ConeCharacterization] = {}
@@ -168,76 +279,109 @@ class DesignSpaceExplorer:
             by_depth.setdefault(depth, []).append(window)
 
         validations: Dict[int, AreaModelValidation] = {}
-        period_ns = 1e9 / self.device.typical_clock_hz
 
         for depth, windows in sorted(by_depth.items()):
-            windows = sorted(windows)
-            registers: Dict[int, int] = {}
-            per_window: Dict[int, ConeCharacterization] = {}
-
-            for window in windows:
-                cone = self.cone_builder.build(window, depth)
-                characterization = ConeCharacterization(
-                    shape=ConeShape(window, depth),
-                    register_count=cone.register_count,
-                    operation_count=cone.operation_count,
-                    critical_path_depth=cone.critical_path_depth,
-                )
-                registers[window * window] = cone.register_count
-                per_window[window] = characterization
-
-                calibration_slot = windows.index(window) < self.calibration_windows_per_depth
-                if calibration_slot or self.synthesize_all:
-                    dfg = build_dfg_from_cone(cone)
-                    report = self.synthesizer.synthesize(dfg)
-                    characterization.actual_area_luts = report.area.luts
-                    characterization.latency_cycles = report.timing.latency_cycles
-                    characterization.synthesized = True
-                else:
-                    characterization.latency_cycles = max(1, math.ceil(
-                        characterization.critical_path_depth
-                        * self.mean_operator_delay_ns / period_ns))
-
-            # calibrate the Equation-1 model on the first syntheses of this depth
-            calibration = [
-                CalibrationPoint(key=w * w,
-                                 register_count=per_window[w].register_count,
-                                 actual_area_luts=per_window[w].actual_area_luts or 0.0)
-                for w in windows[:self.calibration_windows_per_depth]
-            ]
-            if len(calibration) >= 2:
-                model = RegisterAreaModel(self.library)
-                model.calibrate(calibration)
-                estimates = {e.key: e.estimated_area_luts
-                             for e in model.estimate_series(registers)}
-            else:
-                # a single window in the family: its synthesis result is used
-                # directly, no incremental model is needed.
-                estimates = {windows[0] ** 2:
-                             per_window[windows[0]].actual_area_luts or 0.0}
-            for window in windows:
-                per_window[window].estimated_area_luts = estimates[window * window]
-
-            actual = {w * w: per_window[w].actual_area_luts
-                      for w in windows if per_window[w].actual_area_luts is not None}
-            validations[depth] = validate_against_synthesis(actual, estimates, depth=depth)
-
+            windows = tuple(sorted(windows))
+            with self._cache_lock:
+                family = self._family_cache.get((depth, windows))
+            if family is None:
+                family = self._characterize_family(depth, windows)
+                with self._cache_lock:
+                    # another thread may have won the race; keep its entry
+                    # so every caller shares one characterisation
+                    family = self._family_cache.setdefault((depth, windows),
+                                                           family)
+            per_window, validation = family
+            validations[depth] = validation
             for window in windows:
                 characterizations[(window, depth)] = per_window[window]
 
-        self._characterization_cache[total_iterations] = (characterizations,
-                                                          validations)
         return characterizations, validations
+
+    def _characterize_family(self, depth: int, windows: Sequence[int]
+                             ) -> Tuple[Dict[int, ConeCharacterization],
+                                        AreaModelValidation]:
+        """Characterise one depth family and calibrate its Equation-1 model."""
+        period_ns = 1e9 / self.device.typical_clock_hz
+        registers: Dict[int, int] = {}
+        per_window: Dict[int, ConeCharacterization] = {}
+
+        for window in windows:
+            cone = self.cone_builder.build(window, depth)
+            characterization = ConeCharacterization(
+                shape=ConeShape(window, depth),
+                register_count=cone.register_count,
+                operation_count=cone.operation_count,
+                critical_path_depth=cone.critical_path_depth,
+            )
+            registers[window * window] = cone.register_count
+            per_window[window] = characterization
+
+            calibration_slot = windows.index(window) < self.calibration_windows_per_depth
+            if calibration_slot or self.synthesize_all:
+                dfg = build_dfg_from_cone(cone)
+                report = self.synthesizer.synthesize(dfg)
+                characterization.actual_area_luts = report.area.luts
+                characterization.latency_cycles = report.timing.latency_cycles
+                characterization.synthesized = True
+                characterization.tool_runtime_s = report.estimated_tool_runtime_s
+            else:
+                characterization.latency_cycles = max(1, math.ceil(
+                    characterization.critical_path_depth
+                    * self.mean_operator_delay_ns / period_ns))
+
+        # calibrate the Equation-1 model on the first syntheses of this depth
+        calibration = [
+            CalibrationPoint(key=w * w,
+                             register_count=per_window[w].register_count,
+                             actual_area_luts=per_window[w].actual_area_luts or 0.0)
+            for w in windows[:self.calibration_windows_per_depth]
+        ]
+        if len(calibration) >= 2:
+            model = RegisterAreaModel(self.library)
+            model.calibrate(calibration)
+            estimates = {e.key: e.estimated_area_luts
+                         for e in model.estimate_series(registers)}
+        else:
+            # a single window in the family: its synthesis result is used
+            # directly, no incremental model is needed.
+            estimates = {windows[0] ** 2:
+                         per_window[windows[0]].actual_area_luts or 0.0}
+        for window in windows:
+            per_window[window].estimated_area_luts = estimates[window * window]
+
+        actual = {w * w: per_window[w].actual_area_luts
+                  for w in windows if per_window[w].actual_area_luts is not None}
+        validation = validate_against_synthesis(actual, estimates, depth=depth)
+        return per_window, validation
 
     # ------------------------------------------------------------------ #
     # phase 2: architecture space evaluation
 
     def explore(self, total_iterations: int, frame_width: int, frame_height: int,
-                constraints: Optional[DseConstraints] = None) -> ExplorationResult:
-        """Run the full exploration and return design points plus the Pareto set."""
+                constraints: Optional[DseConstraints] = None,
+                onchip_port_elements_per_cycle: Optional[int] = None
+                ) -> ExplorationResult:
+        """Run the full exploration and return design points plus the Pareto set.
+
+        ``onchip_port_elements_per_cycle`` overrides the constructor default
+        for this exploration only — like the frame geometry, it affects the
+        throughput estimate, not the cone characterizations, so sweeps over
+        it reuse all synthesis/calibration work.
+        """
         characterizations, validations = self.characterize_cones(total_iterations)
         space = self._space(total_iterations)
         constraints = constraints or DseConstraints()
+        throughput_model = self.throughput_model
+        if (onchip_port_elements_per_cycle is not None
+                and onchip_port_elements_per_cycle
+                != self.onchip_port_elements_per_cycle):
+            throughput_model = ThroughputModel(
+                device=self.device,
+                data_format=self.data_format,
+                readonly_components=self._readonly_components,
+                onchip_port_elements_per_cycle=onchip_port_elements_per_cycle,
+            )
 
         usable_luts = self.device.usable_capacity.luts
         design_points: List[DesignPoint] = []
@@ -260,7 +404,8 @@ class DesignSpaceExplorer:
             total_area = sum(architecture.cone_counts[d] * area_by_depth[d]
                              for d in architecture.distinct_depths)
             performance = self._performance(architecture, characterizations,
-                                            frame_width, frame_height)
+                                            frame_width, frame_height,
+                                            throughput_model)
             point = DesignPoint(
                 architecture=architecture,
                 area_luts=total_area,
@@ -274,8 +419,13 @@ class DesignSpaceExplorer:
 
         pareto = pareto_front(design_points)
         full_space_runs = len(characterizations)
-        runs_spent = self.synthesizer.runs
-        runs_avoided = max(0, full_space_runs - runs_spent)
+        # Runs and tool runtime backing *this* exploration's shapes
+        # (characterisations may be shared with other iteration counts; the
+        # synthesizer's own counters are cumulative across them).
+        runs_spent = sum(1 for c in characterizations.values() if c.synthesized)
+        runs_avoided = full_space_runs - runs_spent
+        runtime_spent = sum(c.tool_runtime_s
+                            for c in characterizations.values())
         avoided_runtime = self._avoided_runtime(characterizations)
 
         return ExplorationResult(
@@ -291,12 +441,27 @@ class DesignSpaceExplorer:
             area_validations=validations,
             synthesis_runs=runs_spent,
             synthesis_runs_avoided=runs_avoided,
-            tool_runtime_spent_s=self.synthesizer.total_tool_runtime_s,
+            tool_runtime_spent_s=runtime_spent,
             tool_runtime_avoided_s=avoided_runtime,
         )
 
     # ------------------------------------------------------------------ #
     # helpers
+
+    def tool_runtime_avoided_total_s(self) -> float:
+        """Synthesis tool runtime avoided across every cached
+        characterization.
+
+        Computed over the distinct characterized shapes (the family cache),
+        so a shape shared by several iteration counts is counted once.
+        """
+        with self._cache_lock:
+            families = list(self._family_cache.items())
+        merged: Dict[Tuple[int, int], ConeCharacterization] = {}
+        for (depth, _windows), (per_window, _) in families:
+            for window, characterization in per_window.items():
+                merged[(window, depth)] = characterization
+        return self._avoided_runtime(merged)
 
     def _space(self, total_iterations: int) -> ArchitectureSpace:
         return ArchitectureSpace(
@@ -311,7 +476,9 @@ class DesignSpaceExplorer:
 
     def _performance(self, architecture: ConeArchitecture,
                      characterizations: Mapping[Tuple[int, int], ConeCharacterization],
-                     frame_width: int, frame_height: int) -> ArchitecturePerformance:
+                     frame_width: int, frame_height: int,
+                     throughput_model: Optional[ThroughputModel] = None
+                     ) -> ArchitecturePerformance:
         cone_performance: Dict[int, ConePerformance] = {}
         for depth in architecture.distinct_depths:
             characterization = characterizations[(architecture.window_side, depth)]
@@ -321,8 +488,9 @@ class DesignSpaceExplorer:
                 latency_cycles=characterization.latency_cycles,
                 initiation_interval=1,
             )
-        return self.throughput_model.evaluate(architecture, cone_performance,
-                                              frame_width, frame_height)
+        model = throughput_model or self.throughput_model
+        return model.evaluate(architecture, cone_performance,
+                              frame_width, frame_height)
 
     def _avoided_runtime(self, characterizations: Mapping[Tuple[int, int],
                                                           ConeCharacterization]) -> float:

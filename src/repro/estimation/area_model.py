@@ -188,6 +188,17 @@ class AreaModelValidation:
         errors = self.errors_percent
         return sum(errors) / len(errors) if errors else 0.0
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready representation."""
+        return {"depth": self.depth,
+                "entries": [list(entry) for entry in self.entries]}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "AreaModelValidation":
+        return cls(depth=data["depth"],
+                   entries=[(key, actual, estimated)
+                            for key, actual, estimated in data["entries"]])
+
 
 def validate_against_synthesis(
         actual_by_key: Mapping[int, float],

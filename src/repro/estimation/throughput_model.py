@@ -38,6 +38,18 @@ class ConePerformance:
     def label(self) -> str:
         return f"w{self.window_side}d{self.depth}"
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready representation."""
+        return {"depth": self.depth, "window_side": self.window_side,
+                "latency_cycles": self.latency_cycles,
+                "initiation_interval": self.initiation_interval}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "ConePerformance":
+        return cls(depth=data["depth"], window_side=data["window_side"],
+                   latency_cycles=data["latency_cycles"],
+                   initiation_interval=data.get("initiation_interval", 1))
+
 
 @dataclass(frozen=True)
 class ArchitecturePerformance:
@@ -57,6 +69,36 @@ class ArchitecturePerformance:
     @property
     def throughput_pixels_per_second(self) -> float:
         return self.frames_per_second * self.tiles_per_frame
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready representation."""
+        return {
+            "architecture_label": self.architecture_label,
+            "clock_hz": self.clock_hz,
+            "tiles_per_frame": self.tiles_per_frame,
+            "compute_cycles_per_tile": self.compute_cycles_per_tile,
+            "transfer_cycles_per_tile": self.transfer_cycles_per_tile,
+            "cycles_per_tile": self.cycles_per_tile,
+            "seconds_per_frame": self.seconds_per_frame,
+            "frames_per_second": self.frames_per_second,
+            "offchip_bytes_per_frame": self.offchip_bytes_per_frame,
+            "compute_bound": self.compute_bound,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "ArchitecturePerformance":
+        return cls(
+            architecture_label=data["architecture_label"],
+            clock_hz=data["clock_hz"],
+            tiles_per_frame=data["tiles_per_frame"],
+            compute_cycles_per_tile=data["compute_cycles_per_tile"],
+            transfer_cycles_per_tile=data["transfer_cycles_per_tile"],
+            cycles_per_tile=data["cycles_per_tile"],
+            seconds_per_frame=data["seconds_per_frame"],
+            frames_per_second=data["frames_per_second"],
+            offchip_bytes_per_frame=data["offchip_bytes_per_frame"],
+            compute_bound=data["compute_bound"],
+        )
 
 
 class ThroughputModel:

@@ -1,87 +1,43 @@
-"""The end-to-end HLS flow (Figure 2 of the paper).
+"""Backwards-compatible driver for the end-to-end HLS flow (Figure 2).
 
-``HlsFlow`` wires the pieces together:
+The flow itself now lives in :mod:`repro.api` as a composable pipeline
+(:class:`repro.api.Workload` → :class:`repro.api.Pipeline` inside a caching
+:class:`repro.api.Session`).  ``HlsFlow`` and ``FlowOptions`` are kept as
+thin shims over that API so existing call sites keep working unchanged:
 
-1. frontend — accept a C source or an already-built kernel, verify the ISL
-   properties (domain narrowness, translation invariance);
-2. dependency analysis & cone identification — symbolic execution with
-   register reuse (:mod:`repro.symbolic`);
-3. performance and area estimation + design-space exploration
-   (:mod:`repro.estimation`, :mod:`repro.dse`);
-4. Pareto-set extraction;
-5. hardware generation — synthesizable VHDL for the cones of any selected
-   design point (:mod:`repro.codegen`).
+* ``FlowOptions`` / ``FlowResult`` are re-exported from
+  :mod:`repro.api.results`;
+* ``HlsFlow`` wraps a private session, so repeated ``run()`` calls reuse the
+  cached characterization — including across mutations of ``flow.options``
+  that leave the cone shapes unchanged (e.g. a new frame size), exactly the
+  cases the old per-instance explorer cache covered.
+
+New code should prefer::
+
+    from repro.api import Session, Workload
+    result = Session().run(Workload.from_algorithm("blur"))
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Union
+from typing import Dict, Mapping, Optional, Union
 
-from repro.architecture.template import ConeArchitecture
-from repro.codegen.vhdl_toplevel import generate_architecture_toplevel
-from repro.codegen.vhdl_writer import FIXED_POINT_PACKAGE, VhdlModule, VhdlWriter
-from repro.dse.constraints import DseConstraints
+from repro.api.pipeline import generate_vhdl_files
+from repro.api.results import FlowOptions, FlowResult
+from repro.api.session import Session
+from repro.api.workload import Workload
 from repro.dse.design_point import DesignPoint
-from repro.dse.explorer import DesignSpaceExplorer, ExplorationResult
+from repro.dse.explorer import DesignSpaceExplorer
 from repro.frontend.extractor import extract_kernel_from_c
 from repro.frontend.kernel_ir import StencilKernel
-from repro.frontend.semantic import KernelProperties, validate_kernel
-from repro.ir.dfg import build_dfg_from_cone
-from repro.ir.operators import DataFormat
-from repro.symbolic.cone_expression import ConeExpressionBuilder
-from repro.symbolic.invariance import InvarianceReport, verify_kernel
-from repro.synth.fpga_device import FpgaDevice, VIRTEX6_XC6VLX760
+from repro.frontend.semantic import validate_kernel
+from repro.symbolic.invariance import verify_kernel
 
-
-@dataclass(frozen=True)
-class FlowOptions:
-    """User-tunable knobs of the flow."""
-
-    device: FpgaDevice = VIRTEX6_XC6VLX760
-    data_format: DataFormat = DataFormat.FIXED16
-    frame_width: int = 1024
-    frame_height: int = 768
-    iterations: int = 10
-    window_sides: Sequence[int] = (1, 2, 3, 4, 5, 6, 7, 8, 9)
-    max_depth: int = 5
-    max_cones_per_depth: int = 16
-    calibration_windows_per_depth: int = 2
-    synthesize_all: bool = False
-    onchip_port_elements_per_cycle: int = 16
-    constraints: Optional[DseConstraints] = None
-
-
-@dataclass
-class FlowResult:
-    """Everything the flow produces for one algorithm."""
-
-    kernel: StencilKernel
-    properties: KernelProperties
-    invariance: InvarianceReport
-    exploration: ExplorationResult
-    options: FlowOptions
-
-    @property
-    def pareto(self) -> List[DesignPoint]:
-        return self.exploration.pareto
-
-    @property
-    def design_points(self) -> List[DesignPoint]:
-        return self.exploration.design_points
-
-    def best_fitting_point(self) -> Optional[DesignPoint]:
-        return self.exploration.best_fitting_point()
-
-    def fastest_point(self) -> DesignPoint:
-        return min(self.design_points, key=lambda p: p.seconds_per_frame)
-
-    def smallest_point(self) -> DesignPoint:
-        return min(self.design_points, key=lambda p: p.area_luts)
+__all__ = ["HlsFlow", "FlowOptions", "FlowResult"]
 
 
 class HlsFlow:
-    """Drives the whole flow for one ISL algorithm."""
+    """Drives the whole flow for one ISL algorithm (legacy surface)."""
 
     def __init__(self, kernel_or_c_source: Union[StencilKernel, str],
                  options: Optional[FlowOptions] = None,
@@ -95,50 +51,67 @@ class HlsFlow:
                                                 scalar_params=params)
         self.options = options or FlowOptions()
         self.params = dict(params) if params else None
+        # Same eager checks (and exception types) as the historical
+        # constructor: KernelValidationError for structural violations,
+        # ValueError for kernels outside the ISL class.
         self.properties = validate_kernel(self.kernel)
         self.invariance = verify_kernel(self.kernel)
         if not self.invariance.is_isl:
             raise ValueError(
-                f"kernel {self.kernel.name!r} is outside the ISL class the flow "
-                f"targets: {self.invariance.detail}"
+                f"kernel {self.kernel.name!r} is outside the ISL class the "
+                f"flow targets: {self.invariance.detail}"
             )
-        self._explorer: Optional[DesignSpaceExplorer] = None
+        self._session = Session()
 
     # ------------------------------------------------------------------ #
 
+    def _workload(self) -> Workload:
+        """Snapshot the current options/params into a workload.
+
+        Rebuilt per call so post-construction mutation of ``flow.options``
+        or ``flow.params`` takes effect, as it did with the old driver.
+        """
+        return Workload.from_options(self.kernel, self.options,
+                                     params=self.params)
+
     @property
     def explorer(self) -> DesignSpaceExplorer:
-        if self._explorer is None:
-            options = self.options
-            self._explorer = DesignSpaceExplorer(
-                kernel=self.kernel,
-                device=options.device,
-                data_format=options.data_format,
-                window_sides=options.window_sides,
-                max_depth=options.max_depth,
-                max_cones_per_depth=options.max_cones_per_depth,
-                calibration_windows_per_depth=options.calibration_windows_per_depth,
-                synthesize_all=options.synthesize_all,
-                onchip_port_elements_per_cycle=options.onchip_port_elements_per_cycle,
-                params=self.params,
-            )
-        return self._explorer
+        return self._session.explorer_for(self._workload())
 
     def run(self) -> FlowResult:
-        """Execute dependency analysis, estimation, exploration and Pareto extraction."""
-        options = self.options
-        exploration = self.explorer.explore(
-            total_iterations=options.iterations,
-            frame_width=options.frame_width,
-            frame_height=options.frame_height,
-            constraints=options.constraints,
+        """Execute dependency analysis, estimation, exploration and Pareto
+        extraction.
+
+        Each call returns a fresh result with freshly built design-point and
+        Pareto lists (as the old driver did), so reordering or filtering a
+        result in place never leaks into a later run.  The characterization
+        table inside ``result.exploration`` remains shared with the cache —
+        exactly as in the old driver — so treat those entries as read-only.
+        """
+        workload = self._workload()
+        # seed the pipeline with the frontend/analysis artifacts already
+        # computed eagerly in the constructor, so they are not recomputed
+        pipeline = self._session.pipeline(workload)
+        pipeline.artifacts.setdefault("frontend", self.kernel)
+        pipeline.artifacts.setdefault("analyze", {
+            "properties": self.properties, "invariance": self.invariance})
+        # pay (or reuse) the characterization through the session, then build
+        # a fresh exploration on top of it — one explore per call
+        self._session.run(workload, until="characterize")
+        exploration = self._session.explorer_for(workload).explore(
+            total_iterations=workload.iterations,
+            frame_width=workload.frame_width,
+            frame_height=workload.frame_height,
+            constraints=workload.constraints,
+            onchip_port_elements_per_cycle=(
+                workload.onchip_port_elements_per_cycle),
         )
         return FlowResult(
             kernel=self.kernel,
             properties=self.properties,
             invariance=self.invariance,
             exploration=exploration,
-            options=options,
+            options=self.options,
         )
 
     # ------------------------------------------------------------------ #
@@ -146,23 +119,16 @@ class HlsFlow:
 
     def generate_vhdl(self, point: DesignPoint,
                       fractional_bits: int = 12) -> Dict[str, str]:
-        """Generate the VHDL of every cone of a design point plus the top level.
+        """Generate the VHDL of every cone of a design point plus the top
+        level.
 
         Returns a mapping ``file name -> VHDL source`` (the support package,
         one entity per cone depth, and the structural top level).
         """
-        architecture = point.architecture
-        builder = ConeExpressionBuilder(self.kernel, self.params)
-        writer = VhdlWriter(data_format=self.options.data_format,
-                            fractional_bits=fractional_bits)
-        files: Dict[str, str] = {"isl_fixed_pkg.vhd": FIXED_POINT_PACKAGE}
-        entity_names: Dict[int, str] = {}
-        for depth in architecture.distinct_depths:
-            cone = builder.build(architecture.window_side, depth)
-            dfg = build_dfg_from_cone(cone)
-            module = writer.generate(dfg)
-            entity_names[depth] = module.entity_name
-            files[f"{module.entity_name}.vhd"] = module.code
-        files[f"{architecture.label()}_top.vhd"] = generate_architecture_toplevel(
-            architecture, entity_names, data_width=self.options.data_format.width)
-        return files
+        return generate_vhdl_files(
+            kernel=self.kernel,
+            params=self.params,
+            data_format=self.options.data_format,
+            point=point,
+            fractional_bits=fractional_bits,
+        )

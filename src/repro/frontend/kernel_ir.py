@@ -17,8 +17,9 @@ The two defining ISL properties map directly onto this IR:
 from __future__ import annotations
 
 import enum
+import hashlib
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.utils.geometry import Offset, Window, bounding_window
 
@@ -91,9 +92,13 @@ class ParamRef(KernelExpr):
 
 @dataclass(frozen=True)
 class Literal(KernelExpr):
-    """A numeric literal coefficient."""
+    """A numeric literal coefficient (always stored as float, so equality,
+    printing, and fingerprints do not depend on how the kernel was built)."""
 
     value: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "value", float(self.value))
 
     def __str__(self) -> str:
         return repr(self.value)
@@ -208,6 +213,10 @@ class StencilKernel:
     description: str = ""
 
     def __post_init__(self) -> None:
+        # canonicalize parameter values so fingerprints and equality do not
+        # depend on int-vs-float spelling at the construction site
+        self.params = {name: float(value)
+                       for name, value in self.params.items()}
         self._validate()
 
     # ------------------------------------------------------------------ #
@@ -337,6 +346,103 @@ class StencilKernel:
         for update in self.updates:
             lines.append(f"  {update.field_name}[{update.component}] <- {update.expr}")
         return "\n".join(lines)
+
+    # ------------------------------------------------------------------ #
+    # serialization / identity
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the kernel's semantics.
+
+        Two kernels with the same fields, parameters, and update expressions
+        share a fingerprint regardless of how they were built (DSL, C
+        frontend, ``from_dict``).  Used as the characterization-cache key of
+        :class:`repro.api.Session`.
+        """
+        parts = [self.name]
+        parts.extend(f"field:{f.name}:{f.components}" for f in self.fields)
+        parts.extend(f"param:{name}={self.params[name]!r}"
+                     for name in sorted(self.params))
+        parts.extend(f"update:{u.field_name}[{u.component}]<-{u.expr}"
+                     for u in self.updates)
+        digest = hashlib.sha256("\n".join(parts).encode("utf-8"))
+        return digest.hexdigest()[:16]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation of the complete kernel."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "fields": [{"name": f.name, "components": f.components}
+                       for f in self.fields],
+            "params": dict(self.params),
+            "updates": [{"field": u.field_name,
+                         "component": u.component,
+                         "expr": expr_to_dict(u.expr)}
+                        for u in self.updates],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "StencilKernel":
+        return cls(
+            name=data["name"],
+            fields=[FieldDecl(f["name"], f["components"])
+                    for f in data["fields"]],
+            updates=[FieldUpdate(u["field"], u["component"],
+                                 expr_from_dict(u["expr"]))
+                     for u in data["updates"]],
+            params={k: float(v) for k, v in data.get("params", {}).items()},
+            description=data.get("description", ""),
+        )
+
+
+# ---------------------------------------------------------------------- #
+# expression (de)serialization
+
+
+def expr_to_dict(expr: KernelExpr) -> Dict[str, Any]:
+    """Encode an expression tree as JSON-compatible nested dicts."""
+    if isinstance(expr, FieldRead):
+        return {"op": "read", "field": expr.field_name,
+                "offset": expr.offset.to_list(), "component": expr.component}
+    if isinstance(expr, ParamRef):
+        return {"op": "param", "name": expr.name}
+    if isinstance(expr, Literal):
+        return {"op": "lit", "value": expr.value}
+    if isinstance(expr, BinaryOp):
+        return {"op": "bin", "kind": expr.kind.value,
+                "left": expr_to_dict(expr.left),
+                "right": expr_to_dict(expr.right)}
+    if isinstance(expr, UnaryOp):
+        return {"op": "un", "kind": expr.kind.value,
+                "operand": expr_to_dict(expr.operand)}
+    if isinstance(expr, Select):
+        return {"op": "select", "cond": expr_to_dict(expr.cond),
+                "if_true": expr_to_dict(expr.if_true),
+                "if_false": expr_to_dict(expr.if_false)}
+    raise TypeError(f"cannot serialize expression node {type(expr).__name__}")
+
+
+def expr_from_dict(data: Mapping[str, Any]) -> KernelExpr:
+    """Decode an expression tree produced by :func:`expr_to_dict`."""
+    op = data["op"]
+    if op == "read":
+        return FieldRead(data["field"], Offset.from_list(data["offset"]),
+                         data.get("component", 0))
+    if op == "param":
+        return ParamRef(data["name"])
+    if op == "lit":
+        return Literal(float(data["value"]))
+    if op == "bin":
+        return BinaryOp(BinOpKind(data["kind"]),
+                        expr_from_dict(data["left"]),
+                        expr_from_dict(data["right"]))
+    if op == "un":
+        return UnaryOp(UnOpKind(data["kind"]), expr_from_dict(data["operand"]))
+    if op == "select":
+        return Select(expr_from_dict(data["cond"]),
+                      expr_from_dict(data["if_true"]),
+                      expr_from_dict(data["if_false"]))
+    raise ValueError(f"unknown expression op {op!r}")
 
 
 def _collect_params(expr: KernelExpr) -> Set[str]:

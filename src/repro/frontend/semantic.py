@@ -47,6 +47,45 @@ class KernelProperties:
     def total_state_components(self) -> int:
         return sum(self.components_per_field[name] for name in self.state_fields)
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready representation."""
+        return {
+            "name": self.name,
+            "radius": self.radius,
+            "footprint": self.footprint.to_list(),
+            "footprint_size": self.footprint_size,
+            "read_offsets": [o.to_list() for o in self.read_offsets],
+            "state_fields": list(self.state_fields),
+            "readonly_fields": list(self.readonly_fields),
+            "components_per_field": dict(self.components_per_field),
+            "operation_count": self.operation_count,
+            "has_division": self.has_division,
+            "has_sqrt": self.has_sqrt,
+            "has_select": self.has_select,
+            "is_domain_narrow": self.is_domain_narrow,
+            "is_translation_invariant": self.is_translation_invariant,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "KernelProperties":
+        return cls(
+            name=data["name"],
+            radius=data["radius"],
+            footprint=Window.from_list(data["footprint"]),
+            footprint_size=data["footprint_size"],
+            read_offsets=tuple(Offset.from_list(o)
+                               for o in data["read_offsets"]),
+            state_fields=tuple(data["state_fields"]),
+            readonly_fields=tuple(data["readonly_fields"]),
+            components_per_field=dict(data["components_per_field"]),
+            operation_count=data["operation_count"],
+            has_division=data["has_division"],
+            has_sqrt=data["has_sqrt"],
+            has_select=data["has_select"],
+            is_domain_narrow=data["is_domain_narrow"],
+            is_translation_invariant=data["is_translation_invariant"],
+        )
+
     def summary(self) -> str:
         return (
             f"kernel {self.name}: radius={self.radius}, "

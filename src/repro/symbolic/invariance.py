@@ -43,6 +43,28 @@ class InvarianceReport:
         """True when the kernel is in the class the flow targets."""
         return self.is_translation_invariant and self.is_domain_narrow
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready representation."""
+        return {
+            "kernel_name": self.kernel_name,
+            "is_translation_invariant": self.is_translation_invariant,
+            "is_domain_narrow": self.is_domain_narrow,
+            "radius": self.radius,
+            "footprint_size": self.footprint_size,
+            "detail": self.detail,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "InvarianceReport":
+        return cls(
+            kernel_name=data["kernel_name"],
+            is_translation_invariant=data["is_translation_invariant"],
+            is_domain_narrow=data["is_domain_narrow"],
+            radius=data["radius"],
+            footprint_size=data["footprint_size"],
+            detail=data.get("detail", ""),
+        )
+
 
 def _structurally_equal_translated(a: Expression, b: Expression,
                                    shift: Offset) -> bool:

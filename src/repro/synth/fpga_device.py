@@ -63,6 +63,34 @@ class FpgaDevice:
                 limits.append(int(avail // used))
         return min(limits) if limits else 0
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready representation (full model, so custom devices survive)."""
+        return {
+            "name": self.name,
+            "family": self.family,
+            "slice_luts": self.slice_luts,
+            "slice_ffs": self.slice_ffs,
+            "dsp_slices": self.dsp_slices,
+            "bram_kbits": self.bram_kbits,
+            "typical_clock_hz": self.typical_clock_hz,
+            "offchip_bandwidth_bytes_per_s": self.offchip_bandwidth_bytes_per_s,
+            "usable_fraction": self.usable_fraction,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FpgaDevice":
+        return cls(
+            name=data["name"],
+            family=data["family"],
+            slice_luts=data["slice_luts"],
+            slice_ffs=data["slice_ffs"],
+            dsp_slices=data["dsp_slices"],
+            bram_kbits=data["bram_kbits"],
+            typical_clock_hz=data["typical_clock_hz"],
+            offchip_bandwidth_bytes_per_s=data["offchip_bandwidth_bytes_per_s"],
+            usable_fraction=data.get("usable_fraction", 0.85),
+        )
+
 
 VIRTEX6_XC6VLX760 = FpgaDevice(
     name="XC6VLX760",

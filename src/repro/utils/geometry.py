@@ -44,6 +44,15 @@ class Offset:
     def as_tuple(self) -> Tuple[int, int]:
         return (self.dx, self.dy)
 
+    def to_list(self) -> list:
+        """JSON-ready representation ``[dx, dy]``."""
+        return [self.dx, self.dy]
+
+    @staticmethod
+    def from_list(data: "Iterable[int]") -> "Offset":
+        dx, dy = data
+        return Offset(int(dx), int(dy))
+
     @staticmethod
     def origin() -> "Offset":
         return Offset(0, 0)
@@ -118,6 +127,15 @@ class Window:
         for y in range(self.y0, self.y1 + 1):
             for x in range(self.x0, self.x1 + 1):
                 yield Offset(x, y)
+
+    def to_list(self) -> list:
+        """JSON-ready representation ``[x0, y0, x1, y1]``."""
+        return [self.x0, self.y0, self.x1, self.y1]
+
+    @staticmethod
+    def from_list(data: Iterable[int]) -> "Window":
+        x0, y0, x1, y1 = data
+        return Window(int(x0), int(y0), int(x1), int(y1))
 
     @staticmethod
     def square(side: int, origin: Offset = Offset(0, 0)) -> "Window":

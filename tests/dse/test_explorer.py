@@ -82,6 +82,20 @@ class TestEstimationOnlyMode:
         estimated = [c for c in result.characterizations.values() if not c.synthesized]
         assert estimated and all(c.estimated_area_luts > 0 for c in estimated)
 
+    def test_too_few_calibration_windows_rejected(self, igf_kernel):
+        """The explorer must refuse (not silently raise) a calibration
+        budget Equation 1 cannot anchor."""
+        for bad in (0, 1, -3):
+            with pytest.raises(ValueError,
+                               match="calibration_windows_per_depth"):
+                DesignSpaceExplorer(igf_kernel,
+                                    calibration_windows_per_depth=bad)
+
+    def test_calibration_windows_setting_is_not_mutated(self, igf_kernel):
+        explorer = DesignSpaceExplorer(igf_kernel,
+                                       calibration_windows_per_depth=3)
+        assert explorer.calibration_windows_per_depth == 3
+
     def test_constraints_filter_points(self, igf_kernel):
         explorer = DesignSpaceExplorer(
             igf_kernel, data_format=DataFormat.FIXED16,

@@ -73,6 +73,47 @@ class TestFlowResult:
         result = HlsFlow(igf_kernel, options).run()
         assert all(p.fits_device for p in result.design_points)
 
+    def test_repeated_runs_return_fresh_results(self, igf_kernel):
+        """Mutating a returned result must not leak into a later run()."""
+        flow = HlsFlow(igf_kernel, SMALL_OPTIONS)
+        first = flow.run()
+        point_count = len(first.design_points)
+        first.design_points.clear()
+        second = flow.run()
+        assert second is not first
+        assert len(second.design_points) == point_count
+
+    def test_options_mutation_after_construction_takes_effect(self, igf_kernel):
+        """The old driver honoured `flow.options` mutations between runs;
+        the shim must too (frame-size changes even reuse characterizations)."""
+        flow = HlsFlow(igf_kernel, SMALL_OPTIONS)
+        first = flow.run()
+        assert first.exploration.frame_width == 128
+        flow.options = FlowOptions(
+            data_format=DataFormat.FIXED16, frame_width=640, frame_height=480,
+            iterations=4, window_sides=(1, 2, 3), max_depth=2,
+            max_cones_per_depth=3, synthesize_all=True)
+        second = flow.run()
+        assert second.exploration.frame_width == 640
+        # same cone shapes -> the characterization cache absorbed the change
+        assert (second.exploration.synthesis_runs
+                == first.exploration.synthesis_runs)
+
+    def test_extreme_points_are_none_when_constraints_exclude_everything(
+            self, igf_kernel):
+        """Regression: fastest/smallest_point used to crash with a bare
+        ValueError from min() on an empty design-point list."""
+        options = FlowOptions(
+            data_format=DataFormat.FIXED16, frame_width=128, frame_height=96,
+            iterations=4, window_sides=(1, 2, 3), max_depth=2,
+            max_cones_per_depth=3,
+            constraints=DseConstraints(max_area_luts=1.0))
+        result = HlsFlow(igf_kernel, options).run()
+        assert result.design_points == []
+        assert result.fastest_point() is None
+        assert result.smallest_point() is None
+        assert result.best_fitting_point() is None
+
 
 class TestVhdlGeneration:
     def test_generate_vhdl_for_a_design_point(self, igf_kernel, igf_flow_result):
