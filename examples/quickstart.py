@@ -9,20 +9,28 @@ This is the 60-second tour of the public API (:mod:`repro.api`):
    estimation, design-space exploration, Pareto extraction) — sessions cache
    cone characterizations, so related workloads share the expensive work;
 3. inspect the Pareto set, serialize the result to JSON, and generate VHDL
-   for a chosen design point.
+   for a chosen design point;
+4. plug a custom estimation backend into the flow through the named registry
+   (``register_backend``) — ten lines, no ``repro`` module touched;
+5. point a session at a persistent store directory so a later process reruns
+   the same workloads with zero synthesis.
 
 Run with::
 
     python examples/quickstart.py
 
-The same flow is available from the shell: ``python -m repro explore blur``.
+The same flow is available from the shell: ``python -m repro explore blur``
+(add ``--store`` to persist across invocations).
 """
 
 from __future__ import annotations
 
+import dataclasses
 import json
+import tempfile
 
-from repro import FlowResult, Session, Workload
+from repro import FlowResult, Session, Workload, register_backend
+from repro.estimation import RegisterAreaModel
 from repro.flow.report import area_validation_table, flow_summary, pareto_table
 from repro.ir.operators import DataFormat
 
@@ -80,6 +88,42 @@ def main() -> None:
     print()
     print(f"--- first lines of {entity} ---")
     print("\n".join(files[entity].splitlines()[:12]))
+    print()
+
+    # 4. a custom estimation backend in ~10 lines: subclass (or reimplement)
+    #    the Equation-1 model, register it under a name, and select it per
+    #    workload — synthesizers/throughput models/devices plug in the same
+    #    way ("synthesizer"/"throughput"/"device" kinds).
+    class PessimisticAreaModel(RegisterAreaModel):
+        """Equation 1 plus a 15% routing-congestion margin."""
+
+        def estimate_series(self, register_counts):
+            return [dataclasses.replace(e, estimated_area_luts=1.15
+                                        * e.estimated_area_luts)
+                    for e in super().estimate_series(register_counts)]
+
+    register_backend("area", "pessimistic", PessimisticAreaModel)
+    # apples to apples: both runs rely on the area *estimator* for the
+    # non-calibration cones (synthesize_all off), differing only in backend
+    analytic = session.run(workload.replace(synthesize_all=False))
+    pessimistic = session.run(workload.replace(
+        synthesize_all=False, area_estimator="pessimistic"))
+    print(f"custom 'pessimistic' area backend: largest design point "
+          f"{max(p.area_luts for p in pessimistic.design_points):.0f} LUTs "
+          f"vs {max(p.area_luts for p in analytic.design_points):.0f} "
+          f"with the built-in Equation-1 estimator")
+    print()
+
+    # 5. persistence: Session(store=DIR) mirrors characterizations and
+    #    results to disk, so a *new process* (or `python -m repro sweep
+    #    --store DIR`) resumes without re-synthesizing anything.
+    with tempfile.TemporaryDirectory() as store_dir:
+        Session(store=store_dir).run(workload)          # cold: pays synthesis
+        warm = Session(store=store_dir)                 # fresh session ≙ new process
+        warm.run(workload)
+        print(f"warm rerun from {store_dir}: "
+              f"{warm.stats.synthesis_runs} synthesis runs, "
+              f"{warm.stats.store_disk_hits} disk hit(s)")
 
 
 if __name__ == "__main__":

@@ -15,9 +15,18 @@ Usage::
 
     PYTHONPATH=src python scripts/bench.py            # writes BENCH_<date>.json
     PYTHONPATH=src python scripts/bench.py -o out.json --pytest
+    PYTHONPATH=src python scripts/bench.py --store /tmp/repro-store
 
 ``--pytest`` additionally runs the pytest benchmark suite itself (slower;
-wall time is recorded in the snapshot under ``pytest_suite``).
+wall time is recorded in the snapshot under ``pytest_suite``).  ``--store``
+runs the batch twice against a persistent :class:`repro.api.ArtifactStore`
+directory and records the cold-vs-warm comparison under ``store_demo`` (the
+warm pass must perform zero synthesis runs).
+
+Each module entry aggregates the wall time and synthesis-run count of the
+workload(s) it draws on; workload wall times are per-workload session
+latencies, so under a threaded batch their sum can exceed the batch wall
+time.
 """
 
 from __future__ import annotations
@@ -76,11 +85,17 @@ def discover_bench_modules() -> list:
                   for path in glob.glob(pattern))
 
 
-def run_batch(jobs) -> dict:
+def run_batch(jobs, store=None) -> dict:
     """Run every bench workload through one session; return the snapshot body."""
-    session = Session()
     names = list(WORKLOADS)
     workloads = [WORKLOADS[name] for name in names]
+    wall_by_workload = {}
+
+    def observe(event):
+        if event.kind == "workload-finished":
+            wall_by_workload[event.workload] = event.elapsed_s
+
+    session = Session(on_event=observe, store=store)
 
     per_workload = {}
     started = time.perf_counter()
@@ -94,6 +109,7 @@ def run_batch(jobs) -> dict:
             "device": workload.device.name,
             "frame": [workload.frame_width, workload.frame_height],
             "iterations": workload.iterations,
+            "wall_time_s": wall_by_workload.get(workload, 0.0),
             "design_points": len(exploration.design_points),
             "pareto_points": len(exploration.pareto),
             "synthesis_runs": exploration.synthesis_runs,
@@ -108,6 +124,22 @@ def run_batch(jobs) -> dict:
         "session": stats.to_dict(),
         "workloads": per_workload,
     }
+
+
+def module_summary(modules, per_workload) -> dict:
+    """Map each bench module to its workloads plus their aggregate cost."""
+    summary = {}
+    for module in modules:
+        names = MODULE_WORKLOADS.get(module, [])
+        entries = [per_workload[name] for name in names
+                   if name in per_workload]
+        summary[module] = {
+            "workloads": names,
+            "wall_time_s": sum(entry["wall_time_s"] for entry in entries),
+            "synthesis_runs": sum(entry["synthesis_runs"]
+                                  for entry in entries),
+        }
+    return summary
 
 
 def run_pytest_suite() -> dict:
@@ -140,6 +172,11 @@ def main(argv=None) -> int:
                         help="worker threads for the batch (default: auto)")
     parser.add_argument("--pytest", action="store_true",
                         help="also run the pytest benchmark suite")
+    parser.add_argument("--store", metavar="DIR", default=None,
+                        help="run the batch twice against a persistent "
+                             "artifact store under DIR and record the "
+                             "cold-vs-warm comparison (DIR is CLEARED "
+                             "first so the cold numbers are honest)")
     args = parser.parse_args(argv)
 
     modules = discover_bench_modules()
@@ -148,8 +185,17 @@ def main(argv=None) -> int:
         print(f"warning: bench modules without a workload mapping: "
               f"{', '.join(unmapped)}", file=sys.stderr)
 
+    if args.store:
+        # the snapshot's primary numbers double as the cold pass, so a
+        # pre-populated store would silently record warm timings as cold
+        from repro.api import ArtifactStore
+        stale = ArtifactStore(args.store).clear()
+        if stale:
+            print(f"cleared {stale} stale artifact(s) from {args.store} "
+                  f"so the cold pass is cold")
+
     print(f"running {len(WORKLOADS)} bench workloads through the batch API...")
-    batch = run_batch(args.jobs)
+    batch = run_batch(args.jobs, store=args.store)
     print(f"  batch wall time : {batch['wall_time_s']:.2f}s")
     print(f"  synthesis runs  : {batch['session']['synthesis_runs']}")
     print(f"  tool time saved : "
@@ -159,13 +205,25 @@ def main(argv=None) -> int:
         "date": _dt.date.today().isoformat(),
         "python": sys.version.split()[0],
         **batch,
-        "modules": {
-            module: {
-                "workloads": MODULE_WORKLOADS.get(module, []),
-            }
-            for module in modules
-        },
+        "modules": module_summary(modules, batch["workloads"]),
     }
+
+    if args.store:
+        print("rerunning the batch against the warm store...")
+        warm = run_batch(args.jobs, store=args.store)
+        snapshot["store_demo"] = {
+            "dir": os.path.abspath(args.store),
+            "cold_wall_s": batch["wall_time_s"],
+            "warm_wall_s": warm["wall_time_s"],
+            "speedup": (batch["wall_time_s"] / warm["wall_time_s"]
+                        if warm["wall_time_s"] > 0 else None),
+            "warm_synthesis_runs": warm["session"]["synthesis_runs"],
+            "warm_disk_hits": warm["session"]["store_disk_hits"],
+        }
+        print(f"  cold {batch['wall_time_s']:.2f}s -> warm "
+              f"{warm['wall_time_s']:.2f}s "
+              f"({warm['session']['store_disk_hits']} disk hits, "
+              f"{warm['session']['synthesis_runs']} synthesis runs)")
 
     if args.pytest:
         print("running the pytest benchmark suite...")

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# CI/local gate: byte-compile the whole package, then run the tier-1 suite.
+#
+#   scripts/check.sh            # full suite (what CI runs)
+#   scripts/check.sh --fast     # skip bench-style tests (-m "not slow")
+#   scripts/check.sh -k store   # extra args are passed through to pytest
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PYTEST_ARGS=(-x -q)
+if [[ "${1:-}" == "--fast" ]]; then
+    shift
+    PYTEST_ARGS+=(-m "not slow")
+fi
+
+python -m compileall -q src
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+    python -m pytest "${PYTEST_ARGS[@]}" "$@"

@@ -22,7 +22,10 @@ The package implements the full flow of the paper:
 The user-facing surface is the composable API of :mod:`repro.api`: declare a
 :class:`Workload`, run it in a :class:`Session` (which caches cone
 characterizations across workloads), and every result round-trips through
-JSON.
+JSON.  Synthesizers, estimators, and devices are pluggable backends resolved
+by name through :mod:`repro.api.registry` (``register_backend`` /
+``REPRO_BACKENDS``), and ``Session(store=...)`` persists characterizations
+and results across processes through :mod:`repro.api.store`.
 
 Quick start::
 
@@ -86,6 +89,7 @@ from repro.simulation import (
 from repro.baselines import CommercialHlsTool, HlsConfiguration, literature_design
 from repro.algorithms import ALGORITHMS, get_algorithm, list_algorithms
 from repro.api import (
+    ArtifactStore,
     FlowOptions,
     FlowResult,
     Pipeline,
@@ -95,10 +99,17 @@ from repro.api import (
     SessionStats,
     Workload,
     default_session,
+    default_store_path,
+    get_backend,
+    list_backends,
+    list_devices,
+    register_backend,
+    register_device,
+    resolve_device,
 )
 from repro.flow import HlsFlow
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "StencilKernel",
@@ -142,5 +153,13 @@ __all__ = [
     "HlsFlow",
     "FlowOptions",
     "FlowResult",
+    "register_backend",
+    "get_backend",
+    "list_backends",
+    "register_device",
+    "resolve_device",
+    "list_devices",
+    "ArtifactStore",
+    "default_store_path",
     "__version__",
 ]

@@ -16,6 +16,17 @@ Subcommands
     Batch-explore several algorithms / frame sizes / devices through one
     session, sharing cone characterizations, and report per-workload results
     plus session statistics.
+``cache``
+    Inspect (``stats``), empty (``clear``), or dump (``export``) a
+    persistent artifact store directory.
+
+``explore``, ``codegen``, and ``sweep`` accept ``--store [DIR]`` to persist
+characterizations and results across invocations (default directory:
+``$REPRO_CACHE_DIR`` or ``~/.cache/repro``), so a rerun of the same command
+completes with zero synthesizer invocations.  Devices and backends are
+resolved through :mod:`repro.api.registry`; plugins named in the
+``REPRO_BACKENDS`` environment variable are imported first, so their
+synthesizers/estimators/devices are addressable from every subcommand.
 """
 
 from __future__ import annotations
@@ -26,11 +37,12 @@ import sys
 from typing import List, Optional, Sequence, Tuple
 
 from repro.algorithms import ALGORITHMS, get_algorithm
+from repro.api.registry import list_backends, list_devices, resolve_device
 from repro.api.session import Session, SessionEvent
+from repro.api.store import ArtifactStore, default_store_path
 from repro.api.workload import DEFAULT_OPTIONS, Workload
 from repro.dse.constraints import DseConstraints
 from repro.ir.operators import DataFormat
-from repro.synth.fpga_device import DEVICE_CATALOG, device_by_name
 
 #: argparse defaults are derived from the flow's single default source
 _FRAME = f"{DEFAULT_OPTIONS.frame_width}x{DEFAULT_OPTIONS.frame_height}"
@@ -67,6 +79,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro",
         description="Cone-based HLS flow for iterative stencil loops "
                     "(DAC 2013 reproduction).")
+    from repro import __version__
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
     commands = parser.add_subparsers(dest="command", required=True)
 
     list_cmd = commands.add_parser(
@@ -124,7 +139,30 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the JSON payload to FILE")
     sweep.add_argument("--quiet", action="store_true",
                        help="suppress progress events on stderr")
+    sweep.add_argument("--store", metavar="DIR", nargs="?",
+                       const=default_store_path(), default=None,
+                       help="persist characterizations/results under DIR "
+                            "(default when DIR is omitted: "
+                            f"{default_store_path()})")
     sweep.set_defaults(handler=cmd_sweep)
+
+    cache = commands.add_parser(
+        "cache", help="inspect or maintain a persistent artifact store")
+    cache_actions = cache.add_subparsers(dest="cache_command", required=True)
+    for action, handler, description in (
+            ("stats", cmd_cache_stats, "artifact counts and sizes"),
+            ("clear", cmd_cache_clear, "delete the stored artifacts"),
+            ("export", cmd_cache_export, "dump every artifact as JSON")):
+        sub = cache_actions.add_parser(action, help=description)
+        sub.add_argument("--store", metavar="DIR", default=None,
+                         help="store directory (default: "
+                              f"{default_store_path()})")
+        if action != "clear":
+            sub.add_argument("--json", action="store_true",
+                             help="emit machine-readable JSON")
+            sub.add_argument("-o", "--output", metavar="FILE",
+                             help="write the JSON payload to FILE")
+        sub.set_defaults(handler=handler)
 
     return parser
 
@@ -162,6 +200,11 @@ def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
                         help="area constraint (kLUTs)")
     parser.add_argument("--device-only", action="store_true",
                         help="keep only design points fitting the device")
+    parser.add_argument("--store", metavar="DIR", nargs="?",
+                        const=default_store_path(), default=None,
+                        help="persist characterizations/results under DIR "
+                             "(default when DIR is omitted: "
+                             f"{default_store_path()})")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress progress events on stderr")
 
@@ -203,7 +246,7 @@ def workload_from_args(args: argparse.Namespace) -> Workload:
     frame_width, frame_height = parse_frame(args.frame)
     windows = parse_windows(args.windows)
     keywords = dict(
-        device=device_by_name(args.device),
+        device=resolve_device(args.device),
         data_format=DataFormat(args.format),
         frame_width=frame_width,
         frame_height=frame_height,
@@ -219,10 +262,11 @@ def workload_from_args(args: argparse.Namespace) -> Workload:
 
 
 def _session(args: argparse.Namespace) -> Session:
+    store = getattr(args, "store", None)
     quiet = getattr(args, "quiet", False) or getattr(args, "json", False)
     if quiet:
-        return Session()
-    return Session(on_event=_print_event)
+        return Session(store=store)
+    return Session(on_event=_print_event, store=store)
 
 
 def _print_event(event: SessionEvent) -> None:
@@ -230,8 +274,8 @@ def _print_event(event: SessionEvent) -> None:
         print(f"  [{event.workload.name}] {event.stage:<12} "
               f"{event.elapsed_s:7.3f}s", file=sys.stderr)
     elif event.kind == "cache-hit":
-        print(f"  [{event.workload.name}] characterization cache hit",
-              file=sys.stderr)
+        print(f"  [{event.workload.name}] cache hit "
+              f"({event.detail or 'characterization'})", file=sys.stderr)
     elif event.kind == "workload-failed":
         print(f"  [{event.workload.name}] FAILED: {event.detail}",
               file=sys.stderr)
@@ -253,6 +297,7 @@ def _write_payload(payload: object, args: argparse.Namespace) -> None:
 
 
 def cmd_list(args: argparse.Namespace) -> int:
+    backends = list_backends()
     if args.json:
         payload = {
             "algorithms": {
@@ -261,21 +306,26 @@ def cmd_list(args: argparse.Namespace) -> int:
                        "paper_section": spec.paper_section}
                 for name, spec in sorted(ALGORITHMS.items())
             },
+            "backends": backends,
         }
         if args.devices:
             payload["devices"] = {name: device.to_dict()
                                   for name, device in
-                                  sorted(DEVICE_CATALOG.items())}
+                                  sorted(list_devices().items())}
         print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
     print("registered algorithms:")
     for name, spec in sorted(ALGORITHMS.items()):
         print(f"  {name:<10} {spec.description} "
               f"(default {spec.default_iterations} iterations)")
+    print()
+    print("registered backends:")
+    for kind, names in backends.items():
+        print(f"  {kind:<12} {', '.join(names) or '(none)'}")
     if args.devices:
         print()
         print("device catalog:")
-        for name, device in sorted(DEVICE_CATALOG.items()):
+        for name, device in sorted(list_devices().items()):
             print(f"  {name:<12} {device.family:<14} "
                   f"{device.slice_luts:>8} LUTs, "
                   f"{device.typical_clock_hz / 1e6:6.1f} MHz")
@@ -334,7 +384,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                   if name.strip()]
     frames = [parse_frame(part) for part in args.frames.split(",")
               if part.strip()]
-    devices = [device_by_name(name.strip())
+    devices = [resolve_device(name.strip())
                for name in args.devices.split(",") if name.strip()]
     windows = parse_windows(args.windows)
     workloads: List[Workload] = []
@@ -387,4 +437,46 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     print(f"synthesis runs: {stats.synthesis_runs} "
           f"(cache hits {stats.characterization_cache_hits}, "
           f"tool time avoided ~{stats.tool_runtime_avoided_s:.0f}s)")
+    if session.store is not None:
+        print(f"persistent store: {stats.store_disk_hits} disk hit(s), "
+              f"{stats.store_writes} write(s) under {session.store.root}")
+    return 0
+
+
+# ---------------------------------------------------------------------- #
+# cache maintenance
+
+
+def _store_from(args: argparse.Namespace) -> ArtifactStore:
+    return ArtifactStore(args.store or default_store_path())
+
+
+def cmd_cache_stats(args: argparse.Namespace) -> int:
+    description = _store_from(args).describe()
+    if args.json or args.output:
+        _write_payload(description, args)
+        return 0
+    print(f"store {description['root']} (schema v{description['schema']}):")
+    for kind, entry in description["kinds"].items():
+        print(f"  {kind:<18} {entry['artifacts']:>5} artifact(s)  "
+              f"{entry['bytes']:>9} bytes")
+    print(f"  {'total':<18} {description['artifacts']:>5} artifact(s)  "
+          f"{description['bytes']:>9} bytes")
+    if description["stale_artifacts"]:
+        print(f"  {'stale':<18} "
+              f"{description['stale_artifacts']:>5} file(s)      "
+              f"{description['stale_bytes']:>9} bytes "
+              f"(old schemas/interrupted writes; reclaimed by `cache clear`)")
+    return 0
+
+
+def cmd_cache_clear(args: argparse.Namespace) -> int:
+    store = _store_from(args)
+    removed = store.clear()
+    print(f"removed {removed} artifact(s) from {store.root}")
+    return 0
+
+
+def cmd_cache_export(args: argparse.Namespace) -> int:
+    _write_payload(_store_from(args).export_payload(), args)
     return 0

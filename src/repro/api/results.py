@@ -22,7 +22,13 @@ from repro.synth.fpga_device import FpgaDevice, VIRTEX6_XC6VLX760
 
 @dataclass(frozen=True)
 class FlowOptions:
-    """User-tunable knobs of the flow."""
+    """User-tunable knobs of the flow.
+
+    The ``synthesizer``/``area_estimator``/``throughput_estimator`` fields
+    name backends in :mod:`repro.api.registry`; they are resolved to
+    instances only when an explorer is built, so options (and workloads)
+    remain declarative and serializable whatever the backend is.
+    """
 
     device: FpgaDevice = VIRTEX6_XC6VLX760
     data_format: DataFormat = DataFormat.FIXED16
@@ -36,6 +42,9 @@ class FlowOptions:
     synthesize_all: bool = False
     onchip_port_elements_per_cycle: int = 16
     constraints: Optional[DseConstraints] = None
+    synthesizer: str = "analytic"
+    area_estimator: str = "register-model"
+    throughput_estimator: str = "analytic"
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-ready representation."""
@@ -53,6 +62,9 @@ class FlowOptions:
             "onchip_port_elements_per_cycle": self.onchip_port_elements_per_cycle,
             "constraints": (None if self.constraints is None
                             else self.constraints.to_dict()),
+            "synthesizer": self.synthesizer,
+            "area_estimator": self.area_estimator,
+            "throughput_estimator": self.throughput_estimator,
         }
 
     @classmethod
@@ -72,6 +84,10 @@ class FlowOptions:
             onchip_port_elements_per_cycle=data["onchip_port_elements_per_cycle"],
             constraints=(None if constraints is None
                          else DseConstraints.from_dict(constraints)),
+            # .get: payloads written before the backend registry existed
+            synthesizer=data.get("synthesizer", "analytic"),
+            area_estimator=data.get("area_estimator", "register-model"),
+            throughput_estimator=data.get("throughput_estimator", "analytic"),
         )
 
 

@@ -18,12 +18,13 @@ exactly once).
 from __future__ import annotations
 
 import dataclasses
+import json
 import os
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.api.pipeline import (
     Pipeline,
@@ -31,7 +32,9 @@ from repro.api.pipeline import (
     STAGE_NAMES,
     build_explorer,
 )
+from repro.api.registry import backend_signature
 from repro.api.results import FlowResult
+from repro.api.store import ArtifactStore, CharacterizationStoreAdapter
 from repro.api.workload import Workload
 from repro.dse.design_point import DesignPoint
 from repro.dse.explorer import DesignSpaceExplorer, ExplorationResult
@@ -65,6 +68,12 @@ class SessionStats:
     synthesis_runs: int = 0
     tool_runtime_spent_s: float = 0.0
     tool_runtime_avoided_s: float = 0.0
+    #: Persistent-store traffic (all zero on sessions without a store):
+    #: artifacts served from disk, lookups that fell through to recompute,
+    #: and artifacts written back.
+    store_disk_hits: int = 0
+    store_disk_misses: int = 0
+    store_writes: int = 0
     #: Cumulative per-workload latency.  Under ``run_many`` this sums over
     #: concurrent workers (including time blocked on shared-key locks), so
     #: it can exceed real elapsed wall time — time the batch yourself for a
@@ -82,17 +91,42 @@ class SessionStats:
             "tool_runtime_spent_s": self.tool_runtime_spent_s,
             "tool_runtime_avoided_s": self.tool_runtime_avoided_s,
             "workload_time_s": self.workload_time_s,
+            "store_disk_hits": self.store_disk_hits,
+            "store_disk_misses": self.store_disk_misses,
+            "store_writes": self.store_writes,
         }
 
 
 class Session:
-    """Runs workloads through the staged pipeline with process-wide caching."""
+    """Runs workloads through the staged pipeline with process-wide caching.
 
-    def __init__(self, on_event: Optional[Callable[[SessionEvent], None]] = None
-                 ) -> None:
+    With ``store`` (a directory path or an :class:`ArtifactStore`), caching
+    extends across processes: cone characterizations and full flow results
+    are mirrored to disk, so a later session — or a ``python -m repro``
+    rerun — pointed at the same store completes the same workloads with zero
+    synthesizer invocations (observable as ``stats.store_disk_hits`` with
+    ``stats.synthesis_runs == 0``).  Without a store (the default), caching
+    stays in-memory exactly as before.
+    """
+
+    def __init__(self, on_event: Optional[Callable[[SessionEvent], None]] = None,
+                 store: Optional[Union[str, os.PathLike,
+                                       ArtifactStore]] = None) -> None:
+        if store is None or isinstance(store, ArtifactStore):
+            self._store = store
+        else:
+            self._store = ArtifactStore(os.fspath(store))
         self._explorers: Dict[Tuple, DesignSpaceExplorer] = {}
         self._key_locks: Dict[Tuple, threading.Lock] = {}
         self._pipelines: Dict[Workload, Pipeline] = {}
+        #: Results restored from the persistent store, promoted here so
+        #: same-session reruns are memory hits (no repeat disk reads).
+        self._restored_results: Dict[Workload, FlowResult] = {}
+        #: Result-store key of each pipeline, captured at pipeline creation:
+        #: write-back must file a result under the signature of the backend
+        #: implementation that computed it, which a later register_backend
+        #: (replace=True) may no longer be the registered one.
+        self._result_keys: Dict[Workload, str] = {}
         #: Keys with work in flight (refcounts); evict() leaves them alone.
         self._active_keys: Dict[Tuple, int] = {}
         self._registry_lock = threading.Lock()
@@ -152,10 +186,81 @@ class Session:
             # footprint analysis would otherwise serialize batch startup
             # across distinct kernels.  A duplicate build from a racing
             # thread is discarded by setdefault (it performs no synthesis).
-            built = build_explorer(workload)
+            built = build_explorer(
+                workload, family_store=self._family_store_for(workload))
             with self._registry_lock:
                 explorer = self._explorers.setdefault(key, built)
         return explorer, lock
+
+    # ------------------------------------------------------------------ #
+    # persistent store
+
+    @property
+    def store(self) -> Optional[ArtifactStore]:
+        """The persistent artifact store, or ``None`` (in-memory only)."""
+        return self._store
+
+    def _family_store_for(self, workload: Workload
+                          ) -> Optional[CharacterizationStoreAdapter]:
+        """The disk binding for one characterization key's depth families.
+
+        The scope string is the repr of the (fully value-typed, hashable)
+        characterization key — every participating type has a deterministic
+        repr, so the same workload addresses the same artifacts from any
+        process — extended with the backend *implementation* signatures:
+        re-registering a different class under the same backend name must
+        invalidate, not reuse, the old implementation's artifacts.
+        """
+        if self._store is None:
+            return None
+        scope = "|".join([repr(workload.characterization_key())]
+                         + self._backend_signatures(workload))
+        return CharacterizationStoreAdapter(
+            self._store, scope=scope, observer=self._record_store_event)
+
+    @staticmethod
+    def _backend_signatures(workload: Workload) -> List[str]:
+        return [backend_signature("synthesizer", workload.synthesizer),
+                backend_signature("area", workload.area_estimator),
+                backend_signature("throughput",
+                                  workload.throughput_estimator)]
+
+    def _record_store_event(self, event: str) -> None:
+        with self._registry_lock:
+            if event == "hit":
+                self._stats.store_disk_hits += 1
+            elif event == "miss":
+                self._stats.store_disk_misses += 1
+            elif event == "write":
+                self._stats.store_writes += 1
+
+    @classmethod
+    def _result_store_key(cls, workload: Workload) -> str:
+        # canonical JSON of the full declarative workload: two equal
+        # workloads address the same artifact from any process
+        payload = workload.to_dict()
+        # to_dict() records algorithm workloads by registry name only; the
+        # fingerprint ties the artifact to the kernel's actual content, so
+        # editing an algorithm definition can never serve a stale result
+        payload["kernel_fingerprint"] = workload.kernel_fingerprint
+        # likewise, swapping the implementation behind a backend name must
+        # miss instead of serving the old implementation's result
+        payload["backend_signatures"] = cls._backend_signatures(workload)
+        return json.dumps(payload, sort_keys=True)
+
+    def _load_stored_result(self, workload: Workload) -> Optional[FlowResult]:
+        payload = self._store.get("result", self._result_store_key(workload))
+        if payload is None:
+            self._record_store_event("miss")
+            return None
+        try:
+            result = FlowResult.from_dict(payload)
+        except (KeyError, ValueError, TypeError):
+            # schema drift inside the payload: recompute instead of crashing
+            self._record_store_event("miss")
+            return None
+        self._record_store_event("hit")
+        return result
 
     @property
     def cached_keys(self) -> List[Tuple]:
@@ -172,12 +277,21 @@ class Session:
         flight are left untouched — folding the synthesizer counters of
         evicted explorers into :attr:`stats` so accounting survives
         eviction.
+
+        Also the way to pick up a backend implementation re-registered under
+        an existing name (``register_backend(..., replace=True)``): the
+        memoized explorers/results were built against the old implementation
+        and are served as-is until evicted.
         """
         with self._registry_lock:
             if workload is not None:
                 self._pipelines.pop(workload, None)
+                self._restored_results.pop(workload, None)
+                self._result_keys.pop(workload, None)
                 return
             self._pipelines.clear()
+            self._restored_results.clear()
+            self._result_keys.clear()
             # Keys with work in flight keep their explorer, so a concurrent
             # run never loses its synthesis accounting.
             for key in [k for k in self._explorers
@@ -198,6 +312,8 @@ class Session:
         later calls such as :meth:`generate_vhdl`.
         """
         explorer, _ = self._explorer_entry(workload)
+        result_key = (self._result_store_key(workload)
+                      if self._store is not None else None)
         with self._registry_lock:
             pipeline = self._pipelines.get(workload)
             if pipeline is None:
@@ -210,6 +326,8 @@ class Session:
                 pipeline = Pipeline(workload, explorer=explorer,
                                     observer=observe)
                 self._pipelines[workload] = pipeline
+                if result_key is not None:
+                    self._result_keys[workload] = result_key
         return pipeline
 
     def _mark_active(self, key: Tuple, delta: int) -> None:
@@ -240,7 +358,39 @@ class Session:
         started = time.perf_counter()
         key = workload.characterization_key()
         self._emit(SessionEvent("workload-started", workload))
+        memory_hit = False
         try:
+            # The in-memory caches stay the first level: the store is
+            # consulted only for a workload this session has neither
+            # computed through `pareto` nor already restored, and a restored
+            # result is promoted into memory so same-session reruns never
+            # re-read the disk.  (Inside the try: a bad backend name raises
+            # from the key computation and must be accounted/announced like
+            # any other workload failure.)
+            stored: Optional[FlowResult] = None
+            if self._store is not None and until == "pareto":
+                with self._registry_lock:
+                    cached_pipeline = self._pipelines.get(workload)
+                    memory_hit = (cached_pipeline is not None
+                                  and cached_pipeline.has_run("pareto"))
+                    stored = self._restored_results.get(workload)
+                if stored is None and not memory_hit:
+                    stored = self._load_stored_result(workload)
+                    if stored is not None:
+                        with self._registry_lock:
+                            stored = self._restored_results.setdefault(
+                                workload, stored)
+                if stored is not None:
+                    elapsed = time.perf_counter() - started
+                    with self._registry_lock:
+                        self._stats.workloads_run += 1
+                        self._stats.workload_time_s += elapsed
+                    self._emit(SessionEvent("cache-hit", workload,
+                                            detail="persistent store: "
+                                                   "full flow result"))
+                    self._emit(SessionEvent("workload-finished", workload,
+                                            elapsed_s=elapsed))
+                    return _defensive_copy(stored)
             # Mark the key in flight before the explorer becomes reachable,
             # so a concurrent evict() can never fold-and-drop an explorer
             # this run is about to use.
@@ -283,6 +433,24 @@ class Session:
                                     elapsed_s=time.perf_counter() - started,
                                     detail=str(error)))
             raise
+        if (self._store is not None and until == "pareto"
+                and isinstance(result, FlowResult)):
+            # Gate on existence, not on how this run was served: the pareto
+            # stage may have first run as a prerequisite of generate_vhdl
+            # (a memory hit here with nothing on disk yet), and rewriting an
+            # artifact that is already present would only churn the disk.
+            # The key recorded at pipeline creation is used, so a result a
+            # since-replaced backend computed is never filed under the new
+            # implementation's signature.
+            with self._registry_lock:
+                key_string = self._result_keys.get(workload)
+            if key_string is None:
+                key_string = self._result_store_key(workload)
+            if not self._store.has("result", key_string):
+                written = self._store.put("result", key_string,
+                                          result.to_dict())
+                if written is not None:
+                    self._record_store_event("write")
         elapsed = time.perf_counter() - started
         with self._registry_lock:
             self._stats.workloads_run += 1

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field, fields, replace
 from functools import lru_cache
 from typing import Any, Dict, Mapping, Optional, Sequence, Tuple, Union
 
+from repro.api.registry import resolve_device
 from repro.api.results import FlowOptions
 from repro.dse.constraints import DseConstraints
 from repro.frontend.extractor import extract_kernel_from_c
@@ -59,7 +60,10 @@ class Workload:
     c_source: Optional[str] = None
     c_function_name: Optional[str] = None
     kernel: Optional[StencilKernel] = field(default=None, compare=False)
-    device: FpgaDevice = _DEFAULTS.device
+    #: Accepts a full device model or a part name registered with a
+    #: DeviceProvider (``device="xc6vlx760"``); names are resolved to the
+    #: FpgaDevice at construction so keys/serialization see the full model.
+    device: Union[FpgaDevice, str] = _DEFAULTS.device
     data_format: DataFormat = _DEFAULTS.data_format
     frame_width: int = _DEFAULTS.frame_width
     frame_height: int = _DEFAULTS.frame_height
@@ -72,9 +76,15 @@ class Workload:
     onchip_port_elements_per_cycle: int = _DEFAULTS.onchip_port_elements_per_cycle
     params: Optional[Tuple[Tuple[str, float], ...]] = None
     constraints: Optional[DseConstraints] = _DEFAULTS.constraints
+    #: Backend names resolved through :mod:`repro.api.registry` when the
+    #: explorer is built (see ``register_backend``).
+    synthesizer: str = _DEFAULTS.synthesizer
+    area_estimator: str = _DEFAULTS.area_estimator
+    throughput_estimator: str = _DEFAULTS.throughput_estimator
     kernel_fingerprint: str = field(default="", init=False)
 
     def __post_init__(self) -> None:
+        object.__setattr__(self, "device", resolve_device(self.device))
         sources = [s is not None
                    for s in (self.algorithm, self.c_source, self.kernel)]
         if sum(sources) != 1:

@@ -12,7 +12,8 @@ from __future__ import annotations
 import math
 import threading
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import (Any, Callable, Dict, List, Mapping, Optional, Sequence,
+                    Tuple)
 
 from repro.architecture.cone import ConeShape
 from repro.architecture.enumeration import ArchitectureSpace
@@ -197,8 +198,33 @@ class ExplorationResult:
         )
 
 
+#: One cached depth family: per-window characterizations + Eq.-1 validation.
+FamilyEntry = Tuple[Dict[int, ConeCharacterization], AreaModelValidation]
+
+
 class DesignSpaceExplorer:
-    """Runs the estimation + exploration phase of the flow for one kernel."""
+    """Runs the estimation + exploration phase of the flow for one kernel.
+
+    The three analytical components are injected as keyword-only factories
+    (defaulting to the built-in analytic models), so alternative backends —
+    registered through :mod:`repro.api.registry` and resolved by
+    :func:`repro.api.pipeline.build_explorer` — slot in without subclassing:
+
+    * ``synthesizer_factory(device=..., library=...)`` builds the synthesis
+      backend (must expose ``synthesize()``, ``runs``,
+      ``total_tool_runtime_s``);
+    * ``area_model_factory(library=...)`` builds one Equation-1-style
+      estimator per depth family (``calibrate()``/``estimate_series()``);
+    * ``throughput_model_factory(device=..., data_format=...,
+      readonly_components=..., onchip_port_elements_per_cycle=...)`` builds
+      the frame-level performance model (``evaluate()``).
+
+    ``family_store`` (duck-typed ``load(depth, windows)`` /
+    ``save(depth, windows, family)``, see
+    :class:`repro.api.store.CharacterizationStoreAdapter`) persists the
+    per-depth-family characterizations across processes; the in-memory
+    family cache remains the first-level cache in front of it.
+    """
 
     def __init__(self, kernel: StencilKernel,
                  device: FpgaDevice = VIRTEX6_XC6VLX760,
@@ -209,7 +235,12 @@ class DesignSpaceExplorer:
                  calibration_windows_per_depth: int = 2,
                  synthesize_all: bool = False,
                  onchip_port_elements_per_cycle: int = 16,
-                 params: Optional[Mapping[str, float]] = None) -> None:
+                 params: Optional[Mapping[str, float]] = None,
+                 *,
+                 synthesizer_factory: Optional[Callable[..., Any]] = None,
+                 area_model_factory: Optional[Callable[..., Any]] = None,
+                 throughput_model_factory: Optional[Callable[..., Any]] = None,
+                 family_store: Optional[Any] = None) -> None:
         self.kernel = kernel
         self.device = device
         self.data_format = data_format
@@ -230,12 +261,18 @@ class DesignSpaceExplorer:
         self.synthesize_all = synthesize_all
         self.properties = validate_kernel(kernel)
         self.cone_builder = ConeExpressionBuilder(kernel, params)
-        self.synthesizer = Synthesizer(device, self.library)
+        self._synthesizer_factory = synthesizer_factory or Synthesizer
+        self._area_model_factory = area_model_factory or RegisterAreaModel
+        self._throughput_model_factory = (throughput_model_factory
+                                          or ThroughputModel)
+        self.family_store = family_store
+        self.synthesizer = self._synthesizer_factory(device=device,
+                                                     library=self.library)
         readonly = sum(self.properties.components_per_field[name]
                        for name in self.properties.readonly_fields)
         self._readonly_components = readonly
         self.onchip_port_elements_per_cycle = onchip_port_elements_per_cycle
-        self.throughput_model = ThroughputModel(
+        self.throughput_model = self._throughput_model_factory(
             device=device,
             data_format=data_format,
             readonly_components=readonly,
@@ -250,8 +287,8 @@ class DesignSpaceExplorer:
         # characterisation (and its synthesis runs) of each (depth, window
         # family) across iteration counts; per-iteration shape tables are
         # reassembled from it on demand (cheap).
-        self._family_cache: Dict[Tuple[int, Tuple[int, ...]], Tuple[
-            Dict[int, ConeCharacterization], AreaModelValidation]] = {}
+        self._family_cache: Dict[Tuple[int, Tuple[int, ...]],
+                                 FamilyEntry] = {}
         # guards _family_cache against concurrent insert-vs-snapshot races
         # (accounting reads may come from other threads mid-exploration)
         self._cache_lock = threading.Lock()
@@ -284,6 +321,15 @@ class DesignSpaceExplorer:
             windows = tuple(sorted(windows))
             with self._cache_lock:
                 family = self._family_cache.get((depth, windows))
+            if family is None and self.family_store is not None:
+                # second-level cache: a previous process may have paid for
+                # this family already (corrupt/mismatched artifacts load as
+                # None and fall through to recomputation)
+                family = self.family_store.load(depth, windows)
+                if family is not None:
+                    with self._cache_lock:
+                        family = self._family_cache.setdefault(
+                            (depth, windows), family)
             if family is None:
                 family = self._characterize_family(depth, windows)
                 with self._cache_lock:
@@ -291,6 +337,10 @@ class DesignSpaceExplorer:
                     # so every caller shares one characterisation
                     family = self._family_cache.setdefault((depth, windows),
                                                            family)
+                if self.family_store is not None:
+                    # a racing duplicate save rewrites identical content
+                    # atomically, so last-writer-wins is harmless
+                    self.family_store.save(depth, windows, family)
             per_window, validation = family
             validations[depth] = validation
             for window in windows:
@@ -338,7 +388,7 @@ class DesignSpaceExplorer:
             for w in windows[:self.calibration_windows_per_depth]
         ]
         if len(calibration) >= 2:
-            model = RegisterAreaModel(self.library)
+            model = self._area_model_factory(library=self.library)
             model.calibrate(calibration)
             estimates = {e.key: e.estimated_area_luts
                          for e in model.estimate_series(registers)}
@@ -376,7 +426,7 @@ class DesignSpaceExplorer:
         if (onchip_port_elements_per_cycle is not None
                 and onchip_port_elements_per_cycle
                 != self.onchip_port_elements_per_cycle):
-            throughput_model = ThroughputModel(
+            throughput_model = self._throughput_model_factory(
                 device=self.device,
                 data_format=self.data_format,
                 readonly_components=self._readonly_components,

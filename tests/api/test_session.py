@@ -232,6 +232,7 @@ class TestCharacterizationSharing:
         assert session.stats.characterization_cache_hits == 0
         assert session.stats.characterization_cache_misses == 1
 
+    @pytest.mark.slow
     def test_legacy_flow_first_run_is_a_cache_miss(self, igf_kernel):
         from repro import HlsFlow
 

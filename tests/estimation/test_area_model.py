@@ -115,6 +115,7 @@ class TestValidation:
         assert report.depth == 3
 
 
+@pytest.mark.slow
 class TestPaperAccuracyClaim:
     """Figures 5 and 8: the model calibrated on two syntheses stays accurate."""
 

@@ -92,6 +92,7 @@ class TestArchitectureCorrectness:
             point.frames_per_second, rel=0.05)
 
 
+@pytest.mark.slow
 class TestPaperHeadlineClaims:
     """Coarse end-to-end checks of the Section 4 claims (shape, not digits)."""
 
