@@ -13,14 +13,25 @@ This is the 60-second tour of the public API (:mod:`repro.api`):
 4. plug a custom estimation backend into the flow through the named registry
    (``register_backend``) — ten lines, no ``repro`` module touched;
 5. point a session at a persistent store directory so a later process reruns
-   the same workloads with zero synthesis.
+   the same workloads with zero synthesis;
+6. scale a batch with ``run_many(..., executor=...)`` — ``serial``,
+   ``threads`` (default), or ``processes``, which shards cold CPU-bound
+   sweeps across worker processes and returns byte-identical results.
 
 Run with::
 
     python examples/quickstart.py
 
 The same flow is available from the shell: ``python -m repro explore blur``
-(add ``--store`` to persist across invocations).
+(add ``--store`` to persist across invocations, ``--executor processes
+--jobs 4`` to fan a cold sweep out over worker processes).
+
+When to pick which executor: ``processes`` wins on *cold*, CPU-bound sweeps
+of several distinct kernels — characterization is pure Python, so threads
+are GIL-serialized while processes genuinely run in parallel.  ``threads``
+wins when the batch is warm (persistent-store hits are I/O-bound and a warm
+``processes`` run detects the hits and stays in-process anyway) or when all
+workloads share one kernel (one characterization key cannot be sharded).
 """
 
 from __future__ import annotations
@@ -124,6 +135,20 @@ def main() -> None:
         print(f"warm rerun from {store_dir}: "
               f"{warm.stats.synthesis_runs} synthesis runs, "
               f"{warm.stats.store_disk_hits} disk hit(s)")
+    print()
+
+    # 6. batch scheduling is pluggable: a cold multi-kernel sweep shards
+    #    across worker processes (the characterization work is CPU-bound
+    #    Python, so threads cannot overlap it), while warm batches are
+    #    answered in-process either way.  Results are byte-identical
+    #    whatever the strategy or worker count.
+    batch = [workload.replace(algorithm=name)
+             for name in ("blur", "jacobi", "heat")]
+    parallel = Session()
+    results = parallel.run_many(batch, executor="processes", max_workers=3)
+    print(f"process-sharded sweep: {len(results)} kernels explored, "
+          f"{parallel.stats.synthesis_runs} synthesis runs merged back "
+          f"into the parent session")
 
 
 if __name__ == "__main__":

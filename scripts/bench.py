@@ -23,6 +23,15 @@ runs the batch twice against a persistent :class:`repro.api.ArtifactStore`
 directory and records the cold-vs-warm comparison under ``store_demo`` (the
 warm pass must perform zero synthesis runs).
 
+The snapshot also records an ``executor_scaling`` section (skip with
+``--skip-scaling``): the cold 4-kernel scaling batch run through every
+built-in ``Session.run_many`` strategy — ``serial``, ``threads``, and
+``processes`` — with per-strategy wall times, speedups over serial, and a
+digest check proving the three produce byte-identical results.  On a
+multi-core runner the ``processes`` strategy is the headline number
+(CPU-bound characterization work sidesteps the GIL); on a single core it
+only measures the forking overhead.
+
 Each module entry aggregates the wall time and synthesis-run count of the
 workload(s) it draws on; workload wall times are per-workload session
 latencies, so under a threaded batch their sum can exceed the batch wall
@@ -64,6 +73,18 @@ WORKLOADS = {
         window_sides=(1, 2, 3, 4, 5, 6, 7, 8, 9), max_depth=5,
         max_cones_per_depth=16, synthesize_all=True),
 }
+
+#: The cold 4-kernel batch of the executor-scaling section: four distinct
+#: characterization keys (so the ``processes`` strategy has four shards to
+#: distribute), moderate knobs (cold wall time a few seconds per kernel).
+SCALING_WORKLOADS = [
+    Workload.from_algorithm(
+        name, data_format=DataFormat.FIXED16, iterations=8,
+        frame_width=FRAME[0], frame_height=FRAME[1],
+        window_sides=(1, 2, 3, 4, 5, 6), max_depth=4,
+        max_cones_per_depth=8, synthesize_all=True)
+    for name in ("blur", "chamb", "jacobi", "heat")
+]
 
 #: Which exploration(s) each bench module draws on.
 MODULE_WORKLOADS = {
@@ -126,6 +147,55 @@ def run_batch(jobs, store=None) -> dict:
     }
 
 
+def run_executor_scaling(jobs=None) -> dict:
+    """Time the cold scaling batch under every built-in executor strategy.
+
+    Each strategy gets a fresh, storeless session, so every pass pays the
+    full characterization cost — exactly the cold CPU-bound sweep the
+    ``processes`` strategy targets.  Byte-identical results across the
+    strategies are asserted (and recorded) via a digest over the serialized
+    result list.
+    """
+    import hashlib
+
+    jobs = jobs or min(4, len(SCALING_WORKLOADS))
+    strategies = {}
+    digests = {}
+    for strategy in ("serial", "threads", "processes"):
+        session = Session()
+        started = time.perf_counter()
+        results = session.run_many(SCALING_WORKLOADS, max_workers=jobs,
+                                   executor=strategy)
+        wall_s = time.perf_counter() - started
+        stats = session.stats
+        digest = hashlib.sha256(json.dumps(
+            [result.to_dict() for result in results],
+            sort_keys=True).encode("utf-8")).hexdigest()
+        digests[strategy] = digest
+        strategies[strategy] = {
+            "wall_s": wall_s,
+            "synthesis_runs": stats.synthesis_runs,
+            "result_digest": digest,
+        }
+        print(f"    {strategy:<10} {wall_s:7.2f}s "
+              f"({stats.synthesis_runs} synthesis runs)")
+    serial_wall = strategies["serial"]["wall_s"]
+    for strategy, entry in strategies.items():
+        entry["speedup_vs_serial"] = (serial_wall / entry["wall_s"]
+                                      if entry["wall_s"] > 0 else None)
+    identical = len(set(digests.values())) == 1
+    if not identical:
+        print("  WARNING: executor strategies disagreed on results!",
+              file=sys.stderr)
+    return {
+        "cpu_count": os.cpu_count(),
+        "jobs": jobs,
+        "workloads": [workload.name for workload in SCALING_WORKLOADS],
+        "strategies": strategies,
+        "results_identical": identical,
+    }
+
+
 def module_summary(modules, per_workload) -> dict:
     """Map each bench module to its workloads plus their aggregate cost."""
     summary = {}
@@ -177,6 +247,9 @@ def main(argv=None) -> int:
                              "artifact store under DIR and record the "
                              "cold-vs-warm comparison (DIR is CLEARED "
                              "first so the cold numbers are honest)")
+    parser.add_argument("--skip-scaling", action="store_true",
+                        help="skip the serial-vs-threads-vs-processes "
+                             "executor scaling section")
     args = parser.parse_args(argv)
 
     modules = discover_bench_modules()
@@ -224,6 +297,17 @@ def main(argv=None) -> int:
               f"{warm['wall_time_s']:.2f}s "
               f"({warm['session']['store_disk_hits']} disk hits, "
               f"{warm['session']['synthesis_runs']} synthesis runs)")
+
+    if not args.skip_scaling:
+        print(f"running the executor scaling batch "
+              f"({len(SCALING_WORKLOADS)} kernels x serial/threads/"
+              f"processes, {os.cpu_count()} core(s))...")
+        snapshot["executor_scaling"] = run_executor_scaling(args.jobs)
+        scaling = snapshot["executor_scaling"]["strategies"]
+        print(f"  processes vs serial: "
+              f"{scaling['processes']['speedup_vs_serial']:.2f}x "
+              f"(identical results: "
+              f"{snapshot['executor_scaling']['results_identical']})")
 
     if args.pytest:
         print("running the pytest benchmark suite...")

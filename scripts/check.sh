@@ -3,16 +3,39 @@
 #
 #   scripts/check.sh            # full suite (what CI runs)
 #   scripts/check.sh --fast     # skip bench-style tests (-m "not slow")
+#   scripts/check.sh --par      # process-parallel executor/store-stress
+#                               # tests only, plus marker-hygiene checks
 #   scripts/check.sh -k store   # extra args are passed through to pytest
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+run_pytest() {
+    PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest "$@"
+}
+
 PYTEST_ARGS=(-x -q)
-if [[ "${1:-}" == "--fast" ]]; then
+case "${1:-}" in
+--fast)
     shift
     PYTEST_ARGS+=(-m "not slow")
-fi
+    ;;
+--par)
+    shift
+    python -m compileall -q src
+    # Marker hygiene: every `par` test must also carry `slow`, or it leaks
+    # into the default fast tier (`--fast` selects -m "not slow").  pytest
+    # exits 5 when the selection collects nothing — that is the good case.
+    if run_pytest --collect-only -q -m "par and not slow" >/dev/null 2>&1; then
+        echo "error: par-marked tests without the slow marker would leak" \
+             "into the fast tier-1 run:" >&2
+        run_pytest --collect-only -q -m "par and not slow" >&2
+        exit 1
+    fi
+    exec_status=0
+    run_pytest -x -q -m par "$@" || exec_status=$?
+    exit "$exec_status"
+    ;;
+esac
 
 python -m compileall -q src
-PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
-    python -m pytest "${PYTEST_ARGS[@]}" "$@"
+run_pytest "${PYTEST_ARGS[@]}" "$@"

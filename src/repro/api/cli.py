@@ -27,6 +27,16 @@ completes with zero synthesizer invocations.  Devices and backends are
 resolved through :mod:`repro.api.registry`; plugins named in the
 ``REPRO_BACKENDS`` environment variable are imported first, so their
 synthesizers/estimators/devices are addressable from every subcommand.
+
+``explore`` and ``sweep`` additionally accept ``--executor
+{serial,threads,processes}`` and ``--jobs N`` to pick the batch scheduling
+strategy (any strategy registered under the ``executor`` backend kind is
+accepted).  Rule of thumb: ``processes`` wins on *cold*, CPU-bound sweeps of
+several distinct kernels (it sidesteps the GIL by sharding the batch across
+worker processes); ``threads`` (the default) is better for warm batches —
+persistent-store hits are I/O-bound, and a warm ``processes`` run detects
+the store hits and stays in-process anyway — and for single-kernel batches,
+which share one characterization and cannot be sharded.
 """
 
 from __future__ import annotations
@@ -95,6 +105,7 @@ def build_parser() -> argparse.ArgumentParser:
     explore = commands.add_parser(
         "explore", help="explore the design space of one algorithm")
     _add_workload_arguments(explore)
+    _add_executor_arguments(explore)
     explore.add_argument("--json", action="store_true",
                          help="emit the full FlowResult as JSON")
     explore.add_argument("-o", "--output", metavar="FILE",
@@ -130,8 +141,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="comma-separated cone window sides")
     sweep.add_argument("--max-depth", type=int,
                        default=DEFAULT_OPTIONS.max_depth)
-    sweep.add_argument("--jobs", type=int, default=None,
-                       help="worker threads for the batch (default: auto)")
+    _add_executor_arguments(sweep)
     sweep.add_argument("--json", action="store_true",
                        help="emit per-workload summaries plus session stats "
                             "as JSON")
@@ -165,6 +175,16 @@ def build_parser() -> argparse.ArgumentParser:
         sub.set_defaults(handler=handler)
 
     return parser
+
+
+def _add_executor_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--executor", default="threads", metavar="NAME",
+                        help="batch scheduling strategy: serial, threads "
+                             "(default), processes (cold CPU-bound sweeps), "
+                             "or any registered executor backend")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker threads/processes for the batch "
+                             "(default: auto)")
 
 
 def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
@@ -335,7 +355,8 @@ def cmd_list(args: argparse.Namespace) -> int:
 def cmd_explore(args: argparse.Namespace) -> int:
     workload = workload_from_args(args)
     session = _session(args)
-    result = session.run(workload)
+    result = session.run_many([workload], max_workers=args.jobs,
+                              executor=args.executor)[0]
     if args.json or args.output:
         _write_payload(result.to_dict(), args)
         return 0
@@ -402,7 +423,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 workloads.append(Workload.from_algorithm(name, **keywords))
 
     session = _session(args)
-    results = session.run_many(workloads, max_workers=args.jobs)
+    results = session.run_many(workloads, max_workers=args.jobs,
+                               executor=args.executor)
     stats = session.stats
 
     summaries = []

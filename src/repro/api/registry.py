@@ -28,6 +28,11 @@ Backends are registered under one of four *kinds*:
 ``device``
     Factory ``() ->`` :class:`DeviceProvider`; the provider's devices become
     resolvable by part name through :func:`resolve_device`.
+``executor``
+    Factory ``() ->`` batch-execution strategy for
+    :meth:`repro.api.Session.run_many` (``run_batch(session, workloads,
+    max_workers=None)``); the built-ins (``serial``/``threads``/
+    ``processes``) live in :mod:`repro.api.executor`.
 
 Factories are invoked with keyword arguments only, so the built-in classes
 (:class:`repro.synth.Synthesizer`, :class:`repro.estimation.RegisterAreaModel`,
@@ -78,7 +83,7 @@ DISCOVERY_ENV_VAR = "REPRO_BACKENDS"
 
 #: The extension-point kinds the registry knows.
 BACKEND_KINDS: Tuple[str, ...] = ("synthesizer", "area", "throughput",
-                                  "device")
+                                  "device", "executor")
 
 
 class BackendError(KeyError):
@@ -219,6 +224,20 @@ def unregister_backend(kind: str, name: str) -> None:
             _provider_instances.pop(name.lower(), None)
 
 
+def _ensure_executor_builtins() -> None:
+    """Import :mod:`repro.api.executor` so its built-ins are registered.
+
+    The executor module registers itself at import time (like plugins do);
+    importing it lazily here — instead of from this module's tail — keeps
+    the registry import-cycle free while still making ``executor`` lookups
+    work for callers that imported :mod:`repro.api.registry` alone.
+    """
+    with _registry_lock:
+        registered = bool(_backends["executor"])
+    if not registered:
+        importlib.import_module("repro.api.executor")
+
+
 def get_backend(kind: str, name: str) -> Callable[..., Any]:
     """The factory registered under ``(kind, name)``.
 
@@ -226,6 +245,8 @@ def get_backend(kind: str, name: str) -> Callable[..., Any]:
     visible to every lookup path.
     """
     _check_kind(kind)
+    if kind == "executor":
+        _ensure_executor_builtins()
     discover_backends()
     with _registry_lock:
         factory = _backends[kind].get(name.lower())
@@ -256,6 +277,8 @@ def backend_signature(kind: str, name: str) -> str:
 
 def list_backends(kind: Optional[str] = None) -> Dict[str, List[str]]:
     """Registered backend names, per kind (or only the requested kind)."""
+    if kind is None or kind == "executor":
+        _ensure_executor_builtins()
     discover_backends()
     with _registry_lock:
         kinds = (_check_kind(kind),) if kind is not None else BACKEND_KINDS

@@ -8,11 +8,13 @@ characterization cache), so exploring the same kernel on several frame sizes,
 or sweeping constraints, never re-synthesizes a cone shape that has already
 been characterized.
 
-:meth:`Session.run_many` fans a batch of workloads out over a thread pool
-(the flow is pure Python but the stages release no state between workloads;
-distinct kernels proceed in parallel while workloads sharing a
-characterization key are serialized on a per-key lock so the cache is filled
-exactly once).
+:meth:`Session.run_many` delegates batch scheduling to a pluggable execution
+strategy (:mod:`repro.api.executor`): ``serial`` runs in input order,
+``threads`` (the default) fans out over a shared-session thread pool, and
+``processes`` shards cold CPU-bound batches by characterization key across
+worker processes, merging results and store writes back through the
+session's :class:`ArtifactStore`.  Whatever the strategy or worker count,
+results come back in input order and are byte-identical to a serial run.
 """
 
 from __future__ import annotations
@@ -22,9 +24,9 @@ import json
 import os
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import (Any, Callable, Dict, List, Mapping, Optional, Sequence,
+                    Tuple, Union)
 
 from repro.api.pipeline import (
     Pipeline,
@@ -368,15 +370,18 @@ class Session:
             # from the key computation and must be accounted/announced like
             # any other workload failure.)
             stored: Optional[FlowResult] = None
-            if self._store is not None and until == "pareto":
+            if until == "pareto":
+                detail = "restored result: full flow result"
                 with self._registry_lock:
                     cached_pipeline = self._pipelines.get(workload)
                     memory_hit = (cached_pipeline is not None
                                   and cached_pipeline.has_run("pareto"))
                     stored = self._restored_results.get(workload)
-                if stored is None and not memory_hit:
+                if (stored is None and not memory_hit
+                        and self._store is not None):
                     stored = self._load_stored_result(workload)
                     if stored is not None:
+                        detail = "persistent store: full flow result"
                         with self._registry_lock:
                             stored = self._restored_results.setdefault(
                                 workload, stored)
@@ -386,8 +391,7 @@ class Session:
                         self._stats.workloads_run += 1
                         self._stats.workload_time_s += elapsed
                     self._emit(SessionEvent("cache-hit", workload,
-                                            detail="persistent store: "
-                                                   "full flow result"))
+                                            detail=detail))
                     self._emit(SessionEvent("workload-finished", workload,
                                             elapsed_s=elapsed))
                     return _defensive_copy(stored)
@@ -460,23 +464,78 @@ class Session:
         return result
 
     def run_many(self, workloads: Sequence[Workload],
-                 max_workers: Optional[int] = None) -> List[FlowResult]:
+                 max_workers: Optional[int] = None,
+                 executor: Union[str, "ExecutionStrategy", None] = None
+                 ) -> List[FlowResult]:
         """Run a batch of workloads, sharing characterizations across them.
 
-        Results are returned in input order.  Workloads with distinct
-        characterization keys run concurrently on a thread pool; the first
-        failure is re-raised after the batch completes scheduling.
+        Results are returned in input order, byte-identical whatever the
+        strategy or worker count.  ``executor`` picks the scheduling
+        strategy — a name resolved through the ``executor`` kind of
+        :mod:`repro.api.registry` (built-ins: ``serial``, ``threads``,
+        ``processes``) or a strategy instance; the default is ``threads``.
+        ``max_workers`` must be a positive integer (or ``None`` for
+        auto-sizing); the first failure is re-raised after the batch
+        completes scheduling.  ``processes`` suits cold CPU-bound sweeps of
+        distinct kernels; warm (store-hit) batches stay in-process either
+        way.
         """
+        from repro.api.executor import validate_max_workers
+
+        validate_max_workers(max_workers)
         workloads = list(workloads)
         if not workloads:
             return []
-        if max_workers is None:
-            max_workers = min(len(workloads), max(2, (os.cpu_count() or 2)))
-        if max_workers <= 1 or len(workloads) == 1:
-            return [self.run(w) for w in workloads]
-        with ThreadPoolExecutor(max_workers=max_workers,
-                                thread_name_prefix="repro-session") as pool:
-            return list(pool.map(self.run, workloads))
+        strategy = executor if executor is not None else "threads"
+        if isinstance(strategy, str):
+            from repro.api.registry import create_backend
+
+            strategy = create_backend("executor", strategy)
+        return list(strategy.run_batch(self, workloads,
+                                       max_workers=max_workers))
+
+    # ------------------------------------------------------------------ #
+    # executor support (used by repro.api.executor strategies)
+
+    def _has_local_result(self, workload: Workload) -> bool:
+        """Whether :meth:`run` would serve this workload without computing
+        (cached pipeline, promoted result, or persistent-store artifact) —
+        the probe the ``processes`` strategy uses to keep warm workloads
+        in-process instead of forking for them."""
+        with self._registry_lock:
+            pipeline = self._pipelines.get(workload)
+            if pipeline is not None and pipeline.has_run("pareto"):
+                return True
+            if workload in self._restored_results:
+                return True
+        if self._store is None:
+            return False
+        return self._store.has("result", self._result_store_key(workload))
+
+    def _adopt_result(self, workload: Workload,
+                      result: FlowResult) -> FlowResult:
+        """Promote a worker-process result into the in-memory cache and
+        return the caller's isolated view of it."""
+        with self._registry_lock:
+            result = self._restored_results.setdefault(workload, result)
+        return _defensive_copy(result)
+
+    def _absorb_child_stats(self, payload: Mapping[str, Any]) -> None:
+        """Fold a worker-process session's ``SessionStats.to_dict()`` into
+        this session's counters (worker explorers die with their process, so
+        their already-folded totals arrive through the payload)."""
+        with self._registry_lock:
+            for field in dataclasses.fields(SessionStats):
+                value = payload.get(field.name, 0)
+                setattr(self._stats, field.name,
+                        getattr(self._stats, field.name) + value)
+
+    def _emit_batch_event(self, kind: str, workload: Workload,
+                          elapsed_s: Optional[float] = None,
+                          detail: str = "") -> None:
+        """Emit a workload lifecycle event on behalf of a batch executor."""
+        self._emit(SessionEvent(kind, workload, elapsed_s=elapsed_s,
+                                detail=detail))
 
     def generate_vhdl(self, workload: Workload,
                       point: Optional[DesignPoint] = None,

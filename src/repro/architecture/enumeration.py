@@ -12,6 +12,7 @@ not divide the iteration count waste area on the remainder cone.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.utils.validation import check_positive
@@ -31,6 +32,55 @@ def single_depth_split(total_iterations: int, depth: int) -> List[int]:
     return levels
 
 
+@lru_cache(maxsize=512)
+def _uniform_splits(total_iterations: int,
+                    limit: int) -> Tuple[Tuple[int, ...], ...]:
+    """Memoized, deduplicated uniform splittings (shared value-typed form).
+
+    Exploration hot path: every :class:`ArchitectureSpace` method needs the
+    splits, and sessions rebuild spaces for each workload of a sweep — the
+    cache turns the repeated O(depth²) list scans into one lookup per
+    distinct ``(iterations, max depth)`` pair.
+    """
+    splits: List[Tuple[int, ...]] = []
+    seen = set()
+    for depth in range(1, limit + 1):
+        split = tuple(single_depth_split(total_iterations, depth))
+        if split not in seen:
+            seen.add(split)
+            splits.append(split)
+    return tuple(splits)
+
+
+@lru_cache(maxsize=64)
+def _all_compositions(total_iterations: int,
+                      limit: int) -> Tuple[Tuple[int, ...], ...]:
+    """Memoized full composition enumeration (the ablation space)."""
+    results: List[Tuple[int, ...]] = []
+
+    def compose(remaining: int, current: List[int]) -> None:
+        if remaining == 0:
+            results.append(tuple(current))
+            return
+        for depth in range(1, min(limit, remaining) + 1):
+            current.append(depth)
+            compose(remaining - depth, current)
+            current.pop()
+
+    compose(total_iterations, [])
+    return tuple(results)
+
+
+def _cached_splits(total_iterations: int, max_depth: Optional[int],
+                   uniform_only: bool) -> Tuple[Tuple[int, ...], ...]:
+    check_positive("total_iterations", total_iterations)
+    limit = max_depth if max_depth is not None else total_iterations
+    limit = min(limit, total_iterations)
+    if uniform_only:
+        return _uniform_splits(total_iterations, limit)
+    return _all_compositions(total_iterations, limit)
+
+
 def enumerate_level_splits(total_iterations: int,
                            max_depth: Optional[int] = None,
                            uniform_only: bool = True) -> List[List[int]]:
@@ -40,32 +90,12 @@ def enumerate_level_splits(total_iterations: int,
     splitting per candidate depth is produced.  With ``uniform_only=False``
     every composition of the iteration count into depths bounded by
     ``max_depth`` is generated (useful for ablations; the space grows quickly).
+
+    Returns fresh lists; the memoized backing tuples stay shared internally.
     """
-    check_positive("total_iterations", total_iterations)
-    limit = max_depth if max_depth is not None else total_iterations
-    limit = min(limit, total_iterations)
-
-    if uniform_only:
-        splits = []
-        for depth in range(1, limit + 1):
-            split = single_depth_split(total_iterations, depth)
-            if split not in splits:
-                splits.append(split)
-        return splits
-
-    results: List[List[int]] = []
-
-    def compose(remaining: int, current: List[int]) -> None:
-        if remaining == 0:
-            results.append(list(current))
-            return
-        for depth in range(1, min(limit, remaining) + 1):
-            current.append(depth)
-            compose(remaining - depth, current)
-            current.pop()
-
-    compose(total_iterations, [])
-    return results
+    return [list(split)
+            for split in _cached_splits(total_iterations, max_depth,
+                                        uniform_only)]
 
 
 @dataclass
@@ -81,18 +111,54 @@ class ArchitectureSpace:
     max_cones_per_depth: int = 16
     uniform_levels_only: bool = True
 
+    def _splits(self) -> Tuple[Tuple[int, ...], ...]:
+        """The (memoized, shared) level splittings of the space."""
+        return _cached_splits(self.total_iterations, self.max_depth,
+                              self.uniform_levels_only)
+
     def level_splits(self) -> List[List[int]]:
-        return enumerate_level_splits(self.total_iterations, self.max_depth,
-                                      self.uniform_levels_only)
+        return [list(split) for split in self._splits()]
 
     def distinct_shapes(self) -> List[Tuple[int, int]]:
         """Every (window_side, depth) cone module the space may need."""
-        shapes = set()
+        depths = {depth for split in self._splits() for depth in split}
+        return sorted((window, depth)
+                      for window in set(self.window_sides)
+                      for depth in depths)
+
+    def architecture_groups(self,
+                            cone_count_choices: Optional[Sequence[int]] = None
+                            ) -> Iterator[Tuple[int, List[int],
+                                                List[ConeArchitecture]]]:
+        """Yield ``(window, split, architectures)`` per (window, splitting).
+
+        The architectures of one group differ only in the instance count of
+        the primary (deepest) cone — they share cone shapes, per-depth areas,
+        and cone-performance tables, so per-point consumers (the explorer's
+        estimation loop) hoist that work to the group level instead of
+        redoing it ``max_cones_per_depth`` times.
+        """
+        counts = tuple(cone_count_choices
+                       or range(1, self.max_cones_per_depth + 1))
+        split_meta = []
+        for split in self._splits():
+            depths = sorted(set(split))
+            split_meta.append((split, depths, depths[-1]))
         for window in self.window_sides:
-            for split in self.level_splits():
-                for depth in set(split):
-                    shapes.add((window, depth))
-        return sorted(shapes)
+            for split, depths, primary in split_meta:
+                group = []
+                for count in counts:
+                    cone_counts: Dict[int, int] = {d: 1 for d in depths}
+                    cone_counts[primary] = count
+                    group.append(ConeArchitecture(
+                        kernel_name=self.kernel_name,
+                        window_side=window,
+                        level_depths=list(split),
+                        cone_counts=cone_counts,
+                        radius=self.radius,
+                        components=self.components,
+                    ))
+                yield window, list(split), group
 
     def architectures(self,
                       cone_count_choices: Optional[Sequence[int]] = None
@@ -103,26 +169,18 @@ class ArchitectureSpace:
         *primary* (deepest) cone; remainder depths always get one instance,
         matching how the paper's tables scale the ``core_num`` column.
         """
-        counts = cone_count_choices or range(1, self.max_cones_per_depth + 1)
-        for window in self.window_sides:
-            for split in self.level_splits():
-                depths = sorted(set(split))
-                primary = max(depths)
-                for count in counts:
-                    cone_counts: Dict[int, int] = {d: 1 for d in depths}
-                    cone_counts[primary] = count
-                    yield ConeArchitecture(
-                        kernel_name=self.kernel_name,
-                        window_side=window,
-                        level_depths=list(split),
-                        cone_counts=cone_counts,
-                        radius=self.radius,
-                        components=self.components,
-                    )
+        for _window, _split, group in self.architecture_groups(
+                cone_count_choices):
+            yield from group
 
     def size(self, cone_count_choices: Optional[Sequence[int]] = None) -> int:
-        counts = cone_count_choices or range(1, self.max_cones_per_depth + 1)
-        return len(list(self.level_splits())) * len(list(self.window_sides)) * len(list(counts))
+        # mirror architecture_groups(): a falsy choices value means the full
+        # 1..max_cones_per_depth range, so size() always equals
+        # len(list(architectures(...)))
+        counts = tuple(cone_count_choices
+                       or range(1, self.max_cones_per_depth + 1))
+        return (len(self._splits()) * len(tuple(self.window_sides))
+                * len(counts))
 
 
 def enumerate_architectures(kernel_name: str, total_iterations: int, radius: int,

@@ -436,13 +436,17 @@ class DesignSpaceExplorer:
         usable_luts = self.device.usable_capacity.luts
         design_points: List[DesignPoint] = []
 
-        for architecture in space.architectures():
+        # The architectures of one (window, split) group differ only in the
+        # primary cone's instance count, so the per-depth area table and the
+        # cone-performance table are built once per group instead of once
+        # per point (max_cones_per_depth times as often).
+        for window, split, group in space.architecture_groups():
+            depths = sorted(set(split))
             area_by_depth: Dict[int, float] = {}
             estimated = False
             valid = True
-            for depth in architecture.distinct_depths:
-                characterization = characterizations.get(
-                    (architecture.window_side, depth))
+            for depth in depths:
+                characterization = characterizations.get((window, depth))
                 if characterization is None:
                     valid = False
                     break
@@ -450,22 +454,33 @@ class DesignSpaceExplorer:
                 estimated = estimated or not characterization.synthesized
             if not valid:
                 continue
+            cone_performance = {
+                depth: ConePerformance(
+                    depth=depth,
+                    window_side=window,
+                    latency_cycles=characterizations[(window,
+                                                      depth)].latency_cycles,
+                    initiation_interval=1,
+                )
+                for depth in depths
+            }
 
-            total_area = sum(architecture.cone_counts[d] * area_by_depth[d]
-                             for d in architecture.distinct_depths)
-            performance = self._performance(architecture, characterizations,
-                                            frame_width, frame_height,
-                                            throughput_model)
-            point = DesignPoint(
-                architecture=architecture,
-                area_luts=total_area,
-                area_estimated=estimated,
-                performance=performance,
-                fits_device=total_area <= usable_luts,
-                cone_area_by_depth=dict(area_by_depth),
-            )
-            if constraints.admits(point):
-                design_points.append(point)
+            for architecture in group:
+                total_area = sum(architecture.cone_counts[d]
+                                 * area_by_depth[d] for d in depths)
+                performance = throughput_model.evaluate(
+                    architecture, cone_performance, frame_width,
+                    frame_height)
+                point = DesignPoint(
+                    architecture=architecture,
+                    area_luts=total_area,
+                    area_estimated=estimated,
+                    performance=performance,
+                    fits_device=total_area <= usable_luts,
+                    cone_area_by_depth=dict(area_by_depth),
+                )
+                if constraints.admits(point):
+                    design_points.append(point)
 
         pareto = pareto_front(design_points)
         full_space_runs = len(characterizations)
@@ -523,24 +538,6 @@ class DesignSpaceExplorer:
             max_depth=self.max_depth,
             max_cones_per_depth=self.max_cones_per_depth,
         )
-
-    def _performance(self, architecture: ConeArchitecture,
-                     characterizations: Mapping[Tuple[int, int], ConeCharacterization],
-                     frame_width: int, frame_height: int,
-                     throughput_model: Optional[ThroughputModel] = None
-                     ) -> ArchitecturePerformance:
-        cone_performance: Dict[int, ConePerformance] = {}
-        for depth in architecture.distinct_depths:
-            characterization = characterizations[(architecture.window_side, depth)]
-            cone_performance[depth] = ConePerformance(
-                depth=depth,
-                window_side=architecture.window_side,
-                latency_cycles=characterization.latency_cycles,
-                initiation_interval=1,
-            )
-        model = throughput_model or self.throughput_model
-        return model.evaluate(architecture, cone_performance,
-                              frame_width, frame_height)
 
     def _avoided_runtime(self, characterizations: Mapping[Tuple[int, int],
                                                           ConeCharacterization]) -> float:
