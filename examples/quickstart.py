@@ -16,7 +16,11 @@ This is the 60-second tour of the public API (:mod:`repro.api`):
    the same workloads with zero synthesis;
 6. scale a batch with ``run_many(..., executor=...)`` — ``serial``,
    ``threads`` (default), or ``processes``, which shards cold CPU-bound
-   sweeps across worker processes and returns byte-identical results.
+   sweeps across worker processes and returns byte-identical results;
+7. sweep one kernel across devices *and* data formats in a single batch —
+   every scenario is evaluated by the columnar engine
+   (:mod:`repro.dse.engine`) against one shared architecture table, so the
+   candidate space is enumerated once, not once per workload.
 
 Run with::
 
@@ -149,6 +153,29 @@ def main() -> None:
     print(f"process-sharded sweep: {len(results)} kernels explored, "
           f"{parallel.stats.synthesis_runs} synthesis runs merged back "
           f"into the parent session")
+    print()
+
+    # 7. multi-device / multi-format frontiers from one shared table: the
+    #    columnar engine enumerates the candidate space once (it depends
+    #    only on the shape knobs) and re-costs it per scenario with array
+    #    arithmetic, so adding a device or a number format to the sweep
+    #    adds estimation work, not enumeration work.  Same thing from the
+    #    shell:  python -m repro sweep --algorithms blur \
+    #                --devices xc6vlx760,xc2vp30 --formats fixed16,fixed32
+    scenarios = [
+        workload.replace(synthesize_all=False, device=device,
+                         data_format=data_format)
+        for device in ("xc6vlx760", "xc2vp30")
+        for data_format in (DataFormat.FIXED16, DataFormat.FIXED32)
+    ]
+    sweep_session = Session()
+    frontiers = sweep_session.run_many(scenarios)
+    print("multi-device/multi-format frontiers (one shared table):")
+    for scenario, result in zip(scenarios, frontiers):
+        best = result.best_fitting_point()
+        fastest = "-" if best is None else f"{best.frames_per_second:7.1f} fps"
+        print(f"  {scenario.device.name:<12} {scenario.data_format.value:<8} "
+              f"{len(result.pareto):>2} Pareto points   best {fastest}")
 
 
 if __name__ == "__main__":

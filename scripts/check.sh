@@ -3,6 +3,9 @@
 #
 #   scripts/check.sh            # full suite (what CI runs)
 #   scripts/check.sh --fast     # skip bench-style tests (-m "not slow")
+#
+# Every mode first runs the engine import-hygiene guard: repro.dse.engine
+# must import with nothing beyond NumPy + the stdlib.
 #   scripts/check.sh --par      # process-parallel executor/store-stress
 #                               # tests only, plus marker-hygiene checks
 #   scripts/check.sh -k store   # extra args are passed through to pytest
@@ -12,6 +15,42 @@ cd "$(dirname "$0")/.."
 run_pytest() {
     PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest "$@"
 }
+
+check_engine_imports() {
+    # Import hygiene: the columnar engine must import with nothing beyond
+    # NumPy and the stdlib — test-only/optional packages sneaking into its
+    # import closure would break minimal production deployments.  The
+    # blocked import hook fails the build the moment one is touched.
+    python - <<'PYEOF'
+import builtins
+import sys
+
+sys.path.insert(0, "src")
+BLOCKED = ("hypothesis", "pytest", "matplotlib", "pandas", "scipy", "yaml")
+real_import = builtins.__import__
+
+
+def guarded(name, *args, **kwargs):
+    root = name.split(".")[0]
+    if root in BLOCKED:
+        raise SystemExit(
+            f"error: repro.dse.engine pulled optional dependency {root!r} "
+            f"into its import closure (only NumPy + stdlib are allowed)")
+    return real_import(name, *args, **kwargs)
+
+
+builtins.__import__ = guarded
+import repro.dse.engine  # noqa: F401  (the guard is the side effect)
+
+non_stdlib = [name for name in BLOCKED if name in sys.modules]
+assert not non_stdlib, non_stdlib
+print(f"engine import guard ok ({len(sys.modules)} modules, "
+      f"numpy {sys.modules['numpy'].__version__})")
+PYEOF
+}
+
+# The guard is cheap, so every mode runs it (CI's flagless invocation too).
+check_engine_imports
 
 PYTEST_ARGS=(-x -q)
 case "${1:-}" in

@@ -13,9 +13,14 @@ Subcommands
     Generate the VHDL of a design point (best fitting by default) into a
     directory or list the files that would be produced.
 ``sweep``
-    Batch-explore several algorithms / frame sizes / devices through one
-    session, sharing cone characterizations, and report per-workload results
-    plus session statistics.
+    Batch-explore several algorithms / frame sizes / devices / data formats
+    through one session, sharing cone characterizations, and report
+    per-workload results plus session statistics.  Multi-device and
+    multi-format scenarios (``--devices a,b --formats fixed16,fixed32``)
+    evaluate their frontiers from one shared columnar architecture table
+    (:mod:`repro.dse.engine`): the enumerated candidate space depends only
+    on the shape knobs, so it is materialized once and re-costed per
+    scenario instead of re-enumerated per workload.
 ``cache``
     Inspect (``stats``), empty (``clear``), or dump (``export``) a
     persistent artifact store directory.
@@ -135,6 +140,11 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--devices", default=_DEVICE,
                        help="comma-separated device part names "
                             f"(default: {_DEVICE})")
+    sweep.add_argument("--formats", default=_FORMAT,
+                       help="comma-separated datapath number formats "
+                            f"({', '.join(f.value for f in DataFormat)}; "
+                            f"default: {_FORMAT}); multi-format frontiers "
+                            "share one columnar architecture table")
     sweep.add_argument("--iterations", type=int, default=None,
                        help="iteration count override (default: per-algorithm)")
     sweep.add_argument("--windows", default=None,
@@ -407,20 +417,24 @@ def cmd_sweep(args: argparse.Namespace) -> int:
               if part.strip()]
     devices = [resolve_device(name.strip())
                for name in args.devices.split(",") if name.strip()]
+    formats = [DataFormat(part.strip())
+               for part in args.formats.split(",") if part.strip()]
     windows = parse_windows(args.windows)
     workloads: List[Workload] = []
     for name in algorithms:
         get_algorithm(name)  # fail fast on unknown names
         for device in devices:
-            for frame_width, frame_height in frames:
-                keywords = dict(device=device,
-                                frame_width=frame_width,
-                                frame_height=frame_height,
-                                iterations=args.iterations,
-                                max_depth=args.max_depth)
-                if windows is not None:
-                    keywords["window_sides"] = windows
-                workloads.append(Workload.from_algorithm(name, **keywords))
+            for data_format in formats:
+                for frame_width, frame_height in frames:
+                    keywords = dict(device=device,
+                                    data_format=data_format,
+                                    frame_width=frame_width,
+                                    frame_height=frame_height,
+                                    iterations=args.iterations,
+                                    max_depth=args.max_depth)
+                    if windows is not None:
+                        keywords["window_sides"] = windows
+                    workloads.append(Workload.from_algorithm(name, **keywords))
 
     session = _session(args)
     results = session.run_many(workloads, max_workers=args.jobs,
@@ -434,6 +448,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             "algorithm": workload.algorithm,
             "kernel": workload.name,
             "device": workload.device.name,
+            "format": workload.data_format.value,
             "frame": [workload.frame_width, workload.frame_height],
             "iterations": workload.iterations,
             "design_points": len(result.design_points),
@@ -448,12 +463,13 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         return 0
     print(f"swept {len(workloads)} workloads "
           f"({len(algorithms)} algorithms x {len(frames)} frames x "
-          f"{len(devices)} devices)")
+          f"{len(devices)} devices x {len(formats)} formats)")
     for summary in summaries:
         best = summary["best_fitting"]
         fps = ("-" if best is None
                else f"{best['performance']['frames_per_second']:8.2f} fps")
         print(f"  {summary['kernel']:<10} {summary['device']:<12} "
+              f"{summary['format']:<8} "
               f"{summary['frame'][0]}x{summary['frame'][1]:<5} "
               f"{summary['design_points']:>5} points  best {fps}")
     print(f"synthesis runs: {stats.synthesis_runs} "

@@ -183,10 +183,14 @@ class ThreadExecutor:
 class ProcessExecutor:
     """Shard the batch by characterization key across worker processes.
 
-    Workloads the parent session can already serve (a cached pipeline, a
-    promoted result, or a persistent-store artifact) are answered in-process
-    — a warm rerun forks nothing and takes the exact same code path as
-    :class:`SerialExecutor`.  Only the cold remainder is sharded; each
+    Workloads the parent session can already serve cheaply are answered
+    in-process — a full result in the in-memory caches or the persistent
+    store, or an in-memory explorer whose characterization the workload
+    would reuse (a worker process could not see it and would re-synthesize
+    from scratch).  A warm rerun therefore forks nothing and takes the
+    exact same code path as :class:`SerialExecutor`, and repeated
+    in-session batches never pay pool startup.  Only the cold remainder is
+    sharded; each
     worker process runs its shard through a fresh session pointed at the
     parent's store directory, so characterizations and results written there
     are immediately reusable by the parent and by later runs.  The workers'
@@ -213,7 +217,7 @@ class ProcessExecutor:
 
         cold: List[int] = []
         for index, workload in enumerate(workloads):
-            if session._has_local_result(workload):
+            if session._prefers_in_process(workload):
                 results[index] = session.run(workload)
             else:
                 cold.append(index)

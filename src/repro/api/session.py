@@ -477,8 +477,9 @@ class Session:
         ``max_workers`` must be a positive integer (or ``None`` for
         auto-sizing); the first failure is re-raised after the batch
         completes scheduling.  ``processes`` suits cold CPU-bound sweeps of
-        distinct kernels; warm (store-hit) batches stay in-process either
-        way.
+        distinct kernels; warm batches — cached/stored results, or kernels
+        whose cone characterizations this session already holds in memory —
+        stay in-process either way (no pool startup).
         """
         from repro.api.executor import validate_max_workers
 
@@ -511,6 +512,31 @@ class Session:
         if self._store is None:
             return False
         return self._store.has("result", self._result_store_key(workload))
+
+    def _prefers_in_process(self, workload: Workload) -> bool:
+        """Whether a batch executor should answer this workload in-process
+        instead of forking a worker for it.
+
+        True when a full result is already at hand (:meth:`_has_local_result`
+        — memory caches first, the persistent store second) *or* when this
+        session holds an explorer for the workload's characterization key
+        whose in-memory family cache already covers every depth family the
+        workload's iteration count needs: the expensive
+        synthesis/calibration work is done, a worker process could not see
+        it (it would re-characterize from scratch), and the remaining
+        per-frame exploration is cheaper than a pool startup.  Repeated
+        in-session batches — reruns, or new frame sizes over
+        already-characterized kernels — therefore never pay pool startup,
+        while an iteration count that introduces uncharacterized depth
+        families still counts as cold (forking genuinely parallelizes its
+        synthesis).
+        """
+        if self._has_local_result(workload):
+            return True
+        with self._registry_lock:
+            explorer = self._explorers.get(workload.characterization_key())
+        return (explorer is not None
+                and explorer.has_characterized(workload.iterations))
 
     def _adopt_result(self, workload: Workload,
                       result: FlowResult) -> FlowResult:

@@ -15,6 +15,8 @@ from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.utils.validation import check_positive
 from repro.architecture.template import ConeArchitecture
 
@@ -98,6 +100,86 @@ def enumerate_level_splits(total_iterations: int,
                                         uniform_only)]
 
 
+@dataclass(frozen=True)
+class ArchitectureTable:
+    """Columnar (NumPy) materialization of one enumerated architecture space.
+
+    Every candidate architecture is one row; the parallel arrays hold the
+    row's output window side, its level-split index (into :attr:`splits`),
+    the primary-cone instance count, and the primary (deepest) cone depth.
+    Row order is exactly :meth:`ArchitectureSpace.architecture_groups`
+    order — window outermost, then split, then instance count — so row
+    ``(w_idx * len(splits) + s_idx) * len(counts) + c_idx`` is the same
+    candidate the scalar iteration visits at that position, and the rows of
+    one (window, split) group are contiguous.
+
+    The arrays are read-only and shared: the enumeration depends only on
+    the shape knobs (iteration count, depth bound, windows, instance
+    bound), so sweeps across devices, data formats, frame sizes, and even
+    kernels evaluate their scenarios against one cached table instead of
+    re-enumerating per workload (see :func:`space_table`).
+    """
+
+    window_sides: Tuple[int, ...]
+    splits: Tuple[Tuple[int, ...], ...]
+    counts: Tuple[int, ...]
+    window: np.ndarray
+    split_index: np.ndarray
+    primary_count: np.ndarray
+    primary_depth: np.ndarray
+
+    @property
+    def rows(self) -> int:
+        """Total number of candidate architectures in the table."""
+        return int(self.window.size)
+
+    def group_rows(self, window_index: int, split_index: int) -> range:
+        """The contiguous row range of one (window, split) group."""
+        base = ((window_index * len(self.splits)) + split_index) * len(self.counts)
+        return range(base, base + len(self.counts))
+
+
+@lru_cache(maxsize=128)
+def _space_table_cached(total_iterations: int, max_depth: Optional[int],
+                          uniform_only: bool,
+                          window_sides: Tuple[int, ...],
+                          max_cones_per_depth: int) -> ArchitectureTable:
+    splits = _cached_splits(total_iterations, max_depth, uniform_only)
+    counts = tuple(range(1, max_cones_per_depth + 1))
+    n_splits, n_counts = len(splits), len(counts)
+    window = np.repeat(np.asarray(window_sides, dtype=np.int64),
+                       n_splits * n_counts)
+    split_index = np.tile(np.repeat(np.arange(n_splits, dtype=np.int64),
+                                    n_counts), len(window_sides))
+    primary_count = np.tile(np.asarray(counts, dtype=np.int64),
+                            len(window_sides) * n_splits)
+    primaries = np.asarray([max(split) for split in splits], dtype=np.int64)
+    primary_depth = (primaries[split_index] if n_splits
+                     else np.empty(0, dtype=np.int64))
+    columns = ArchitectureTable(window_sides=window_sides, splits=splits,
+                           counts=counts, window=window,
+                           split_index=split_index,
+                           primary_count=primary_count,
+                           primary_depth=primary_depth)
+    for array in (window, split_index, primary_count, primary_depth):
+        array.setflags(write=False)
+    return columns
+
+
+def space_table(space: "ArchitectureSpace") -> ArchitectureTable:
+    """The (cached, shared) columnar table of a space's candidate set.
+
+    Keyed by the shape knobs only — kernel identity, radius, and components
+    affect how rows are *materialized* into :class:`ConeArchitecture`
+    objects (and how they are costed), never which rows exist — so one
+    table serves every device/format/frame scenario of a sweep.
+    """
+    return _space_table_cached(space.total_iterations, space.max_depth,
+                                 space.uniform_levels_only,
+                                 tuple(space.window_sides),
+                                 space.max_cones_per_depth)
+
+
 @dataclass
 class ArchitectureSpace:
     """The set of candidate architectures for one kernel and iteration count."""
@@ -159,6 +241,32 @@ class ArchitectureSpace:
                         components=self.components,
                     ))
                 yield window, list(split), group
+
+    def table(self) -> ArchitectureTable:
+        """Columnar emission path: the cached :class:`ArchitectureTable` table.
+
+        The scalar :meth:`architecture_groups` iteration and this table
+        enumerate the same candidates in the same order; the columnar
+        engine (:mod:`repro.dse.engine`) evaluates the table with array
+        arithmetic and materializes :class:`ConeArchitecture` rows on
+        demand via :meth:`materialize_row_parts`.
+        """
+        return space_table(self)
+
+    def materialize_row_parts(self, window: int, split: Sequence[int],
+                              primary_count: int) -> ConeArchitecture:
+        """Materialize one table row as a :class:`ConeArchitecture`.
+
+        Trusted fast path: enumeration guarantees validity, so the
+        per-instance feasibility re-check is skipped.
+        """
+        depths = sorted(set(split))
+        cone_counts = {depth: 1 for depth in depths}
+        cone_counts[depths[-1]] = primary_count
+        return ConeArchitecture.from_trusted_parts(
+            kernel_name=self.kernel_name, window_side=window,
+            level_depths=list(split), cone_counts=cone_counts,
+            radius=self.radius, components=self.components)
 
     def architectures(self,
                       cone_count_choices: Optional[Sequence[int]] = None

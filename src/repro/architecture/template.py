@@ -76,6 +76,29 @@ class ConeArchitecture:
             check_positive("level depth", depth)
         self.validate()
 
+    @classmethod
+    def from_trusted_parts(cls, kernel_name: str, window_side: int,
+                           level_depths: List[int],
+                           cone_counts: Dict[int, int],
+                           radius: int, components: int) -> "ConeArchitecture":
+        """Materialize an architecture the enumerator already proved valid.
+
+        Fast path for the columnar engine, which materializes architectures
+        only for rows that survive constraint masks: the enumeration
+        guarantees positive windows/depths and one instance per required
+        depth, so re-running ``__post_init__`` validation per row would only
+        burn the time the vectorized evaluation just saved.  The containers
+        are adopted, not copied — callers must hand over fresh ones.
+        """
+        self = object.__new__(cls)
+        self.kernel_name = kernel_name
+        self.window_side = window_side
+        self.level_depths = level_depths
+        self.cone_counts = cone_counts
+        self.radius = radius
+        self.components = components
+        return self
+
     # ------------------------------------------------------------------ #
     # structure
 

@@ -1,15 +1,30 @@
-"""Design-space exploration: estimate every candidate architecture, extract Pareto set."""
+"""Design-space exploration: estimate every candidate architecture, extract Pareto set.
+
+The evaluation itself is columnar by default: :mod:`repro.dse.engine`
+materializes the enumerated space as a shared NumPy
+:class:`~repro.architecture.enumeration.ArchitectureTable`, evaluates areas
+and throughput vectorized per (window, split) group, applies constraints as
+array masks, and extracts the Pareto frontier from the objective columns.
+The per-point scalar loop (``DesignSpaceExplorer.explore_scalar``) remains
+as the differential baseline and the route for custom throughput backends.
+"""
 
 from repro.dse.design_point import DesignPoint
-from repro.dse.pareto import pareto_front, is_dominated
+from repro.dse.pareto import pareto_front, pareto_indices, is_dominated
 from repro.dse.constraints import DseConstraints
+from repro.dse.engine import (ColumnarExploration, explore_columnar,
+                              supports_columnar)
 from repro.dse.explorer import DesignSpaceExplorer, ExplorationResult, ConeCharacterization
 
 __all__ = [
     "DesignPoint",
     "pareto_front",
+    "pareto_indices",
     "is_dominated",
     "DseConstraints",
+    "ColumnarExploration",
+    "explore_columnar",
+    "supports_columnar",
     "DesignSpaceExplorer",
     "ExplorationResult",
     "ConeCharacterization",

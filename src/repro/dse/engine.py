@@ -1,0 +1,294 @@
+"""The columnar design-space engine.
+
+The scalar explorer evaluates the candidate space one Python object at a
+time: build a :class:`ConeArchitecture`, sum its cone areas, run the
+throughput model, wrap a :class:`DesignPoint`, test the constraints — a few
+tens of microseconds of interpreter work per candidate, multiplied by every
+(window, split, instance count) combination of every workload of a sweep.
+
+This module evaluates the same space as columns instead:
+
+1. the full enumerated candidate set is materialized once as parallel NumPy
+   arrays (:class:`repro.architecture.enumeration.ArchitectureTable` — window,
+   split, instance count, primary depth), cached and *shared* across every
+   device/format/frame scenario that explores the same shape knobs;
+2. the calibrated Equation-1 areas and the frame-level throughput model are
+   evaluated vectorized over whole (window, split) groups through the
+   models' ``estimate_batch`` APIs — the same code the scalar paths
+   delegate to, so columnar and scalar figures are bit-identical;
+3. :class:`~repro.dse.constraints.DseConstraints` are applied as array
+   masks, with the area-only constraints (``device_only``,
+   ``max_area_luts``) pushed down *before* throughput estimation so
+   infeasible candidates are never costed;
+4. the Pareto frontier is extracted directly from the admitted objective
+   columns (:func:`repro.dse.pareto.pareto_indices`);
+5. :class:`DesignPoint` objects are materialized only for the rows that
+   survive — all admitted rows when a full :class:`ExplorationResult` is
+   wanted (the explorer default, byte-identical to the scalar path), or
+   just the frontier when only the Pareto set matters
+   (``materialize="frontier"``).
+
+:meth:`repro.dse.explorer.DesignSpaceExplorer.explore` routes through this
+engine whenever the workload's throughput backend is columnar-capable (see
+:func:`supports_columnar`), which covers every built-in configuration; the
+scalar loop remains available as ``explore_scalar`` and serves as the
+differential-testing baseline.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.architecture.enumeration import (ArchitectureSpace,
+                                            ArchitectureTable, space_table)
+from repro.dse.constraints import DseConstraints
+from repro.dse.design_point import DesignPoint
+from repro.dse.pareto import pareto_indices
+from repro.estimation.throughput_model import (
+    ConePerformance,
+    ThroughputModel,
+    performance_from_columns,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.dse.explorer import ConeCharacterization
+
+
+def supports_columnar(throughput_model: object) -> bool:
+    """Whether the engine may drive ``throughput_model`` through its batch API.
+
+    True iff the model's frame-level ``evaluate``, its per-tile
+    ``compute_cycles_per_tile`` hook, and ``estimate_batch`` itself are the
+    stock :class:`ThroughputModel` implementations, so the batch path
+    cannot diverge from what per-point evaluation would produce.  A
+    backend that overrides any of the three — or duck-types the protocol
+    without subclassing — is evaluated point-wise by the scalar explorer
+    loop instead (its overrides are honored, just not vectorized).  The
+    finer-grained public hooks (``transfer_cycles_per_tile``,
+    ``tiles_per_frame``, ``execution_interval_cycles``) are invoked on the
+    instance by both paths, so overriding those keeps the engine usable
+    *and* consistent — they are the supported extension points for
+    columnar-capable customization.
+    """
+    model_type = type(throughput_model)
+    return (getattr(model_type, "estimate_batch", None)
+            is ThroughputModel.estimate_batch
+            and getattr(model_type, "evaluate", None)
+            is ThroughputModel.evaluate
+            and getattr(model_type, "compute_cycles_per_tile", None)
+            is ThroughputModel.compute_cycles_per_tile)
+
+
+@dataclass(frozen=True)
+class _GroupEvaluation:
+    """One (window, split) group's evaluated columns (admitted rows only)."""
+
+    window: int
+    split: Tuple[int, ...]
+    base_row: int
+    count_index: np.ndarray        # admitted positions along the count axis
+    area_luts: np.ndarray          # admitted areas (aligned with count_index)
+    fits_device: np.ndarray
+    performance_columns: Mapping[str, object]
+    performance_index: np.ndarray  # admitted positions into the perf columns
+    area_by_depth: Dict[int, float]
+    area_estimated: bool
+
+
+@dataclass
+class ColumnarExploration:
+    """The engine's product: admitted objective columns plus design points.
+
+    ``row_index``/``area_luts``/``seconds_per_frame``/``fits_device`` are
+    parallel arrays over the admitted candidates, in enumeration (row)
+    order.  ``design_points`` holds one :class:`DesignPoint` per admitted
+    row in the same order — unless the evaluation ran with
+    ``materialize="frontier"``, in which case only the Pareto members were
+    materialized and ``design_points`` is ``None``.  ``pareto`` is the
+    frontier in increasing-area order (see :mod:`repro.dse.pareto` for the
+    tie-breaking contract).
+    """
+
+    table: ArchitectureTable
+    row_index: np.ndarray
+    area_luts: np.ndarray
+    seconds_per_frame: np.ndarray
+    fits_device: np.ndarray
+    pareto_index: np.ndarray
+    design_points: Optional[List[DesignPoint]]
+    pareto: List[DesignPoint]
+    #: Rows never costed thanks to constraint pushdown (area-infeasible).
+    pruned_rows: int = 0
+
+    @property
+    def admitted_rows(self) -> int:
+        return int(self.row_index.size)
+
+
+def explore_columnar(space: ArchitectureSpace,
+                     characterizations: Mapping[Tuple[int, int],
+                                                "ConeCharacterization"],
+                     throughput_model: ThroughputModel,
+                     frame_width: int, frame_height: int,
+                     constraints: Optional[DseConstraints] = None,
+                     usable_luts: float = math.inf,
+                     materialize: str = "admitted") -> ColumnarExploration:
+    """Evaluate a whole architecture space with column arithmetic.
+
+    Visits the same candidates in the same order as the scalar
+    ``architecture_groups`` loop and produces the same admitted design
+    points and the same Pareto frontier (bit-identical serializations) —
+    just without paying Python-object overhead per candidate.
+
+    ``materialize`` selects which rows become :class:`DesignPoint` objects:
+    ``"admitted"`` (default) materializes every constraint-admitted row,
+    ``"frontier"`` only the Pareto members.
+    """
+    if materialize not in ("admitted", "frontier"):
+        raise ValueError(f"materialize must be 'admitted' or 'frontier' "
+                         f"(got {materialize!r})")
+    constraints = constraints or DseConstraints()
+    table = space_table(space)
+    n_counts = len(table.counts)
+
+    groups: List[_GroupEvaluation] = []
+    pruned = 0
+    for window_index, window in enumerate(table.window_sides):
+        for split_index, split in enumerate(table.splits):
+            depths = sorted(set(split))
+            area_by_depth: Dict[int, float] = {}
+            estimated = False
+            valid = True
+            for depth in depths:
+                characterization = characterizations.get((window, depth))
+                if characterization is None:
+                    valid = False
+                    break
+                area_by_depth[depth] = characterization.area_luts
+                estimated = estimated or not characterization.synthesized
+            if not valid:
+                continue
+            rows = table.group_rows(window_index, split_index)
+            # the group's slice of the table columns IS the count axis
+            counts = table.primary_count[rows.start:rows.stop]
+            primary = int(table.primary_depth[rows.start])
+
+            # Per-row area: Σ_depth instances × cone area, accumulated in
+            # sorted-depth order exactly like the scalar sum (bit-identical;
+            # only the primary depth's instance count varies along the row
+            # axis of the group).
+            area = np.zeros(n_counts, dtype=np.float64)
+            for depth in depths:
+                if depth == primary:
+                    area += counts * area_by_depth[depth]
+                else:
+                    area += 1 * area_by_depth[depth]
+            fits = area <= usable_luts
+
+            # Constraint pushdown: candidates that already fail the
+            # area-side constraints are masked out *before* the throughput
+            # model runs, so they are never costed.
+            feasible = np.ones(n_counts, dtype=bool)
+            if constraints.device_only:
+                feasible &= fits
+            if constraints.max_area_luts is not None:
+                feasible &= area <= constraints.max_area_luts
+            pruned += int(n_counts - np.count_nonzero(feasible))
+            if not feasible.any():
+                continue
+
+            representative = space.materialize_row_parts(window, split, 1)
+            cone_performance = {
+                depth: ConePerformance(
+                    depth=depth,
+                    window_side=window,
+                    latency_cycles=characterizations[(window,
+                                                      depth)].latency_cycles,
+                    initiation_interval=1,
+                )
+                for depth in depths
+            }
+            selected = np.flatnonzero(feasible)
+            columns = throughput_model.estimate_batch(
+                representative, cone_performance, frame_width, frame_height,
+                counts[selected])
+            performance_index = np.arange(selected.size)
+            if constraints.min_frames_per_second is not None:
+                admitted = (columns["frames_per_second"]
+                            >= constraints.min_frames_per_second)
+                selected = selected[admitted]
+                performance_index = performance_index[admitted]
+                if selected.size == 0:
+                    continue
+            groups.append(_GroupEvaluation(
+                window=window,
+                split=split,
+                base_row=rows.start,
+                count_index=selected,
+                area_luts=area[selected],
+                fits_device=fits[selected],
+                performance_columns=columns,
+                performance_index=performance_index,
+                area_by_depth=area_by_depth,
+                area_estimated=estimated,
+            ))
+
+    if groups:
+        row_index = np.concatenate([g.base_row + g.count_index
+                                    for g in groups])
+        area_column = np.concatenate([g.area_luts for g in groups])
+        time_column = np.concatenate(
+            [np.asarray(g.performance_columns["seconds_per_frame"])
+             [g.performance_index] for g in groups])
+        fits_column = np.concatenate([g.fits_device for g in groups])
+    else:
+        row_index = np.empty(0, dtype=np.intp)
+        area_column = np.empty(0, dtype=np.float64)
+        time_column = np.empty(0, dtype=np.float64)
+        fits_column = np.empty(0, dtype=bool)
+    pareto_order = pareto_indices(area_column, time_column)
+
+    def build_point(group: _GroupEvaluation, offset: int) -> DesignPoint:
+        count_index = int(group.count_index[offset])
+        architecture = space.materialize_row_parts(
+            group.window, group.split, table.counts[count_index])
+        return DesignPoint(
+            architecture=architecture,
+            area_luts=float(group.area_luts[offset]),
+            area_estimated=group.area_estimated,
+            performance=performance_from_columns(
+                group.performance_columns,
+                int(group.performance_index[offset])),
+            fits_device=bool(group.fits_device[offset]),
+            cone_area_by_depth=dict(group.area_by_depth),
+        )
+
+    #: admitted row -> (owning group, offset within the group's columns)
+    locator: List[Tuple[_GroupEvaluation, int]] = []
+    for group in groups:
+        locator.extend((group, offset)
+                       for offset in range(group.count_index.size))
+
+    if materialize == "admitted":
+        design_points: Optional[List[DesignPoint]] = [
+            build_point(group, offset) for group, offset in locator]
+        pareto = [design_points[index] for index in pareto_order]
+    else:
+        design_points = None
+        pareto = [build_point(*locator[index]) for index in pareto_order]
+
+    return ColumnarExploration(
+        table=table,
+        row_index=row_index,
+        area_luts=area_column,
+        seconds_per_frame=time_column,
+        fits_device=fits_column,
+        pareto_index=pareto_order,
+        design_points=design_points,
+        pareto=pareto,
+        pruned_rows=pruned,
+    )

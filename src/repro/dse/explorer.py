@@ -17,9 +17,9 @@ from typing import (Any, Callable, Dict, List, Mapping, Optional, Sequence,
 
 from repro.architecture.cone import ConeShape
 from repro.architecture.enumeration import ArchitectureSpace
-from repro.architecture.template import ConeArchitecture
 from repro.dse.constraints import DseConstraints
 from repro.dse.design_point import DesignPoint
+from repro.dse.engine import explore_columnar, supports_columnar
 from repro.dse.pareto import pareto_front
 from repro.estimation.area_model import (
     AreaModelValidation,
@@ -348,6 +348,24 @@ class DesignSpaceExplorer:
 
         return characterizations, validations
 
+    def has_characterized(self, total_iterations: int) -> bool:
+        """Whether every depth family ``total_iterations`` needs is already
+        in the in-memory family cache — i.e. :meth:`characterize_cones`
+        for that iteration count would perform zero synthesis runs.
+
+        Used by :meth:`repro.api.session.Session` batch scheduling to tell
+        genuinely warm reruns (answer in-process) from workloads whose
+        iteration count introduces depth families this explorer has not
+        paid for yet (worth forking for).
+        """
+        space = self._space(total_iterations)
+        by_depth: Dict[int, List[int]] = {}
+        for window, depth in space.distinct_shapes():
+            by_depth.setdefault(depth, []).append(window)
+        with self._cache_lock:
+            return all((depth, tuple(sorted(windows))) in self._family_cache
+                       for depth, windows in by_depth.items())
+
     def _characterize_family(self, depth: int, windows: Sequence[int]
                              ) -> Tuple[Dict[int, ConeCharacterization],
                                         AreaModelValidation]:
@@ -410,14 +428,21 @@ class DesignSpaceExplorer:
 
     def explore(self, total_iterations: int, frame_width: int, frame_height: int,
                 constraints: Optional[DseConstraints] = None,
-                onchip_port_elements_per_cycle: Optional[int] = None
-                ) -> ExplorationResult:
+                onchip_port_elements_per_cycle: Optional[int] = None,
+                *, columnar: Optional[bool] = None) -> ExplorationResult:
         """Run the full exploration and return design points plus the Pareto set.
 
         ``onchip_port_elements_per_cycle`` overrides the constructor default
         for this exploration only — like the frame geometry, it affects the
         throughput estimate, not the cone characterizations, so sweeps over
         it reuse all synthesis/calibration work.
+
+        The evaluation itself runs on the columnar engine
+        (:mod:`repro.dse.engine`) whenever the throughput backend is
+        columnar-capable — the default for every built-in configuration —
+        and falls back to the per-point scalar loop otherwise (e.g. a
+        registry backend that overrides ``evaluate``).  ``columnar``
+        forces the choice; both paths produce byte-identical results.
         """
         characterizations, validations = self.characterize_cones(total_iterations)
         space = self._space(total_iterations)
@@ -434,12 +459,77 @@ class DesignSpaceExplorer:
             )
 
         usable_luts = self.device.usable_capacity.luts
-        design_points: List[DesignPoint] = []
+        if columnar is None:
+            columnar = supports_columnar(throughput_model)
+        if columnar:
+            evaluation = explore_columnar(
+                space, characterizations, throughput_model,
+                frame_width, frame_height, constraints, usable_luts)
+            design_points = evaluation.design_points
+            pareto = evaluation.pareto
+        else:
+            design_points = self._evaluate_scalar(
+                space, characterizations, throughput_model,
+                frame_width, frame_height, constraints, usable_luts)
+            pareto = pareto_front(design_points)
 
-        # The architectures of one (window, split) group differ only in the
-        # primary cone's instance count, so the per-depth area table and the
-        # cone-performance table are built once per group instead of once
-        # per point (max_cones_per_depth times as often).
+        full_space_runs = len(characterizations)
+        # Runs and tool runtime backing *this* exploration's shapes
+        # (characterisations may be shared with other iteration counts; the
+        # synthesizer's own counters are cumulative across them).
+        runs_spent = sum(1 for c in characterizations.values() if c.synthesized)
+        runs_avoided = full_space_runs - runs_spent
+        runtime_spent = sum(c.tool_runtime_s
+                            for c in characterizations.values())
+        avoided_runtime = self._avoided_runtime(characterizations)
+
+        return ExplorationResult(
+            kernel_name=self.kernel.name,
+            device_name=self.device.name,
+            frame_width=frame_width,
+            frame_height=frame_height,
+            total_iterations=total_iterations,
+            properties=self.properties,
+            characterizations=characterizations,
+            design_points=design_points,
+            pareto=pareto,
+            area_validations=validations,
+            synthesis_runs=runs_spent,
+            synthesis_runs_avoided=runs_avoided,
+            tool_runtime_spent_s=runtime_spent,
+            tool_runtime_avoided_s=avoided_runtime,
+        )
+
+    def explore_scalar(self, total_iterations: int, frame_width: int,
+                       frame_height: int,
+                       constraints: Optional[DseConstraints] = None,
+                       onchip_port_elements_per_cycle: Optional[int] = None
+                       ) -> ExplorationResult:
+        """:meth:`explore` forced onto the per-point scalar evaluation loop.
+
+        The legacy path, kept as the differential-testing baseline for the
+        columnar engine (and as the route for throughput backends that
+        override ``evaluate``); its output is byte-identical to the
+        engine's.
+        """
+        return self.explore(
+            total_iterations, frame_width, frame_height, constraints,
+            onchip_port_elements_per_cycle, columnar=False)
+
+    def _evaluate_scalar(self, space: ArchitectureSpace,
+                         characterizations: Mapping[Tuple[int, int],
+                                                    ConeCharacterization],
+                         throughput_model: Any, frame_width: int,
+                         frame_height: int, constraints: DseConstraints,
+                         usable_luts: float) -> List[DesignPoint]:
+        """Per-point evaluation of the space (the engine's scalar twin).
+
+        The architectures of one (window, split) group differ only in the
+        primary cone's instance count, so the per-depth area table and the
+        cone-performance table are built once per group instead of once
+        per point (max_cones_per_depth times as often).
+        """
+        design_points: List[DesignPoint] = []
         for window, split, group in space.architecture_groups():
             depths = sorted(set(split))
             area_by_depth: Dict[int, float] = {}
@@ -481,34 +571,7 @@ class DesignSpaceExplorer:
                 )
                 if constraints.admits(point):
                     design_points.append(point)
-
-        pareto = pareto_front(design_points)
-        full_space_runs = len(characterizations)
-        # Runs and tool runtime backing *this* exploration's shapes
-        # (characterisations may be shared with other iteration counts; the
-        # synthesizer's own counters are cumulative across them).
-        runs_spent = sum(1 for c in characterizations.values() if c.synthesized)
-        runs_avoided = full_space_runs - runs_spent
-        runtime_spent = sum(c.tool_runtime_s
-                            for c in characterizations.values())
-        avoided_runtime = self._avoided_runtime(characterizations)
-
-        return ExplorationResult(
-            kernel_name=self.kernel.name,
-            device_name=self.device.name,
-            frame_width=frame_width,
-            frame_height=frame_height,
-            total_iterations=total_iterations,
-            properties=self.properties,
-            characterizations=characterizations,
-            design_points=design_points,
-            pareto=pareto,
-            area_validations=validations,
-            synthesis_runs=runs_spent,
-            synthesis_runs_avoided=runs_avoided,
-            tool_runtime_spent_s=runtime_spent,
-            tool_runtime_avoided_s=avoided_runtime,
-        )
+        return design_points
 
     # ------------------------------------------------------------------ #
     # helpers

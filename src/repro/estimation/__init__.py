@@ -19,6 +19,7 @@ from repro.estimation.throughput_model import (
     ConePerformance,
     ArchitecturePerformance,
     ThroughputModel,
+    performance_from_columns,
 )
 
 __all__ = [
@@ -30,4 +31,5 @@ __all__ = [
     "ConePerformance",
     "ArchitecturePerformance",
     "ThroughputModel",
+    "performance_from_columns",
 ]

@@ -17,6 +17,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.ir.operators import OperatorLibrary, default_library
 
 
@@ -108,47 +110,67 @@ class RegisterAreaModel:
     # ------------------------------------------------------------------ #
     # estimation
 
+    def estimate_batch(self, keys: "np.ndarray",
+                       register_counts: "np.ndarray") -> "np.ndarray":
+        """Vectorized Equation 1 over a whole cone family at once.
+
+        ``keys``/``register_counts`` are parallel 1-D integer arrays (one
+        entry per cone; keys must be unique).  Returns the estimated areas
+        as a float64 array aligned with the inputs.
+
+        This is the single implementation of the Equation-1 recursion: the
+        scalar :meth:`estimate_series` delegates here.  The recursion
+        ``A(i) = A(i-1) + (Reg_i - Reg_{i-1}) * Size_reg * alpha`` is a
+        sequential accumulation, which ``np.cumsum`` over the per-step
+        increments (with the anchor area prepended) reproduces addition for
+        addition — batch and scalar results are bit-identical, not merely
+        close.
+        """
+        if self.alpha is None:
+            raise RuntimeError("calibrate() must be called before estimating")
+        keys = np.asarray(keys, dtype=np.int64)
+        registers = np.asarray(register_counts, dtype=np.int64)
+        if keys.ndim != 1 or keys.shape != registers.shape:
+            raise ValueError(
+                "keys and register_counts must be 1-D arrays of equal length")
+        if np.unique(keys).size != keys.size:
+            raise ValueError("family keys must be unique")
+        anchor = self.anchor
+        estimates = np.empty(keys.size, dtype=np.float64)
+        order = np.argsort(keys, kind="stable")
+
+        # Anchor: the smallest calibrated design is taken at its synthesised
+        # area (the model predicts increments, not absolutes).  Keys above
+        # the anchor chain forward from it, keys below chain backward.
+        estimates[order[keys[order] == anchor.key]] = anchor.actual_area_luts
+        for positions in (order[keys[order] > anchor.key],
+                          order[keys[order] < anchor.key][::-1]):
+            if positions.size == 0:
+                continue
+            chain_registers = np.concatenate(
+                ([anchor.register_count], registers[positions]))
+            increments = (np.diff(chain_registers)
+                          * self.size_reg_luts) * self.alpha
+            chain = np.cumsum(np.concatenate(([anchor.actual_area_luts],
+                                              increments)))
+            estimates[positions] = chain[1:]
+        return estimates
+
     def estimate_series(self, register_counts: Mapping[int, int]) -> List[AreaEstimate]:
         """Estimate the area of every cone in ``register_counts``.
 
         ``register_counts`` maps the family key (window area) to the register
         count of that cone.  The recursion of Equation 1 runs over the keys in
-        increasing order, starting from the anchor calibration point.
+        increasing order, starting from the anchor calibration point; the
+        arithmetic itself is the vectorized :meth:`estimate_batch`.
         """
-        if self.alpha is None:
-            raise RuntimeError("calibrate() must be called before estimating")
-        anchor = self.anchor
         keys = sorted(register_counts)
-        estimates: Dict[int, float] = {}
-
-        # Anchor: the smallest calibrated design is taken at its synthesised
-        # area (the model predicts increments, not absolutes).
-        estimates[anchor.key] = anchor.actual_area_luts
-        anchor_regs = anchor.register_count
-
-        # forward sweep (windows larger than the anchor)
-        previous_key = anchor.key
-        previous_regs = anchor_regs
-        for key in keys:
-            if key <= anchor.key:
-                continue
-            regs = register_counts[key]
-            estimates[key] = (estimates[previous_key]
-                              + (regs - previous_regs) * self.size_reg_luts * self.alpha)
-            previous_key, previous_regs = key, regs
-
-        # backward sweep (windows smaller than the anchor, rarely needed)
-        previous_key = anchor.key
-        previous_regs = anchor_regs
-        for key in sorted((k for k in keys if k < anchor.key), reverse=True):
-            regs = register_counts[key]
-            estimates[key] = (estimates[previous_key]
-                              - (previous_regs - regs) * self.size_reg_luts * self.alpha)
-            previous_key, previous_regs = key, regs
-
-        return [AreaEstimate(key=k, register_count=register_counts[k],
-                             estimated_area_luts=estimates[k])
-                for k in keys]
+        areas = self.estimate_batch(
+            np.asarray(keys, dtype=np.int64),
+            np.asarray([register_counts[k] for k in keys], dtype=np.int64))
+        return [AreaEstimate(key=key, register_count=register_counts[key],
+                             estimated_area_luts=float(area))
+                for key, area in zip(keys, areas)]
 
     def estimate_single(self, key: int, register_count: int) -> AreaEstimate:
         """Estimate one cone directly from the anchor point."""

@@ -18,7 +18,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+import numpy as np
 
 from repro.architecture.template import ConeArchitecture
 from repro.ir.operators import DataFormat
@@ -146,18 +148,42 @@ class ThroughputModel:
         Executions of the same depth are served by the available physical
         instances; consecutive levels are dependent, so each level contributes
         its pipeline fill latency once plus one execution interval per
-        serialised execution batch.
+        serialised execution batch.  (Thin scalar wrapper over the batch
+        accumulation — one formula.)
         """
+        primary = max(architecture.level_depths)
+        counts = np.asarray([architecture.cone_counts.get(primary, 1)],
+                            dtype=np.int64)
+        return float(self._compute_cycles_batch(architecture, cone_performance,
+                                                counts)[0])
+
+    def _compute_cycles_batch(self, architecture: ConeArchitecture,
+                              cone_performance: Mapping[int, ConePerformance],
+                              primary_counts: "np.ndarray") -> "np.ndarray":
+        """Per-tile compute cycles over the primary-cone instance-count axis.
+
+        Every architecture of one (window, level-split) group differs only in
+        the instance count of the primary (deepest) cone, so the per-level
+        accumulation runs once with the primary level's serialisation factor
+        vectorized over ``primary_counts``.  Level contributions are added in
+        level order, mirroring the scalar accumulation addition for addition
+        (bit-identical results).
+        """
+        primary = max(architecture.level_depths)
         executions_per_level = architecture.executions_per_level()
-        cycles = 0.0
+        cycles = np.zeros(primary_counts.size, dtype=np.float64)
         for level_index, depth in enumerate(architecture.level_depths):
             perf = cone_performance.get(depth)
             if perf is None:
                 raise KeyError(f"no cone performance data for depth {depth}")
-            instances = architecture.cone_counts.get(depth, 1)
             executions = executions_per_level[level_index]
-            serialised = math.ceil(executions / max(1, instances))
             interval = self.execution_interval_cycles(architecture, depth, perf)
+            if depth == primary:
+                serialised = np.ceil(executions
+                                     / np.maximum(primary_counts, 1))
+            else:
+                instances = architecture.cone_counts.get(depth, 1)
+                serialised = math.ceil(executions / max(1, instances))
             cycles += perf.latency_cycles + serialised * interval
         return cycles
 
@@ -175,25 +201,93 @@ class ThroughputModel:
 
     # ------------------------------------------------------------------ #
 
-    def evaluate(self, architecture: ConeArchitecture,
-                 cone_performance: Mapping[int, ConePerformance],
-                 frame_width: int, frame_height: int) -> ArchitecturePerformance:
-        """Estimate the frame rate of ``architecture`` on the given frame size."""
-        compute = self.compute_cycles_per_tile(architecture, cone_performance)
+    def estimate_batch(self, architecture: ConeArchitecture,
+                       cone_performance: Mapping[int, ConePerformance],
+                       frame_width: int, frame_height: int,
+                       primary_counts: "np.ndarray") -> Dict[str, Any]:
+        """Vectorized :meth:`evaluate` over the primary-cone count axis.
+
+        ``architecture`` is any member of a (window, level-split) group —
+        its primary (deepest) cone count is overridden element-wise by
+        ``primary_counts`` while every other depth keeps the architecture's
+        own instance count.  Returns a dict of parallel columns: per-count
+        arrays for the count-dependent figures (``compute_cycles_per_tile``,
+        ``cycles_per_tile``, ``seconds_per_frame``, ``frames_per_second``,
+        ``compute_bound``) and plain scalars for the group-constant ones
+        (``architecture_label``, ``clock_hz``, ``tiles_per_frame``,
+        ``transfer_cycles_per_tile``, ``offchip_bytes_per_frame``).
+
+        This is the single implementation of the frame-level model: the
+        scalar :meth:`evaluate` delegates here with a one-element count
+        axis, so batch and scalar figures are bit-identical by construction.
+        """
+        primary_counts = np.asarray(primary_counts, dtype=np.int64)
+        if primary_counts.ndim != 1:
+            raise ValueError("primary_counts must be a 1-D integer array")
+        compute = self._compute_cycles_batch(architecture, cone_performance,
+                                             primary_counts)
+        return self._assemble_columns(architecture, compute,
+                                      frame_width, frame_height)
+
+    def _assemble_columns(self, architecture: ConeArchitecture,
+                          compute: "np.ndarray", frame_width: int,
+                          frame_height: int) -> Dict[str, Any]:
+        """Frame-level assembly shared by the scalar and batch paths: turn
+        per-tile compute cycles (any count axis) into the full column dict."""
         transfer, bytes_per_tile = self.transfer_cycles_per_tile(architecture)
-        per_tile = max(compute, transfer) + self.tile_overhead_cycles
+        per_tile = np.maximum(compute, transfer) + self.tile_overhead_cycles
         tiles = self.tiles_per_frame(architecture, frame_width, frame_height)
         clock = self.device.typical_clock_hz
         seconds_per_frame = per_tile * tiles / clock
-        return ArchitecturePerformance(
-            architecture_label=architecture.label(),
-            clock_hz=clock,
-            tiles_per_frame=tiles,
-            compute_cycles_per_tile=compute,
-            transfer_cycles_per_tile=transfer,
-            cycles_per_tile=per_tile,
-            seconds_per_frame=seconds_per_frame,
-            frames_per_second=1.0 / seconds_per_frame if seconds_per_frame > 0 else 0.0,
-            offchip_bytes_per_frame=bytes_per_tile * tiles,
-            compute_bound=compute >= transfer,
-        )
+        positive = seconds_per_frame > 0
+        frames_per_second = np.divide(
+            1.0, seconds_per_frame,
+            out=np.zeros_like(seconds_per_frame), where=positive)
+        return {
+            "architecture_label": architecture.label(),
+            "clock_hz": clock,
+            "tiles_per_frame": tiles,
+            "compute_cycles_per_tile": compute,
+            "transfer_cycles_per_tile": transfer,
+            "cycles_per_tile": per_tile,
+            "seconds_per_frame": seconds_per_frame,
+            "frames_per_second": frames_per_second,
+            "offchip_bytes_per_frame": bytes_per_tile * tiles,
+            "compute_bound": compute >= transfer,
+        }
+
+    def evaluate(self, architecture: ConeArchitecture,
+                 cone_performance: Mapping[int, ConePerformance],
+                 frame_width: int, frame_height: int) -> ArchitecturePerformance:
+        """Estimate the frame rate of ``architecture`` on the given frame size.
+
+        Calls the public :meth:`compute_cycles_per_tile` hook (so a subclass
+        override of it is honored, exactly as before the columnar refactor)
+        and shares the frame-level assembly with :meth:`estimate_batch` —
+        one formula either way.
+        """
+        compute = np.asarray([self.compute_cycles_per_tile(architecture,
+                                                           cone_performance)],
+                             dtype=np.float64)
+        columns = self._assemble_columns(architecture, compute,
+                                         frame_width, frame_height)
+        return performance_from_columns(columns, 0)
+
+
+def performance_from_columns(columns: Mapping[str, Any],
+                             index: int) -> ArchitecturePerformance:
+    """Materialize one :class:`ArchitecturePerformance` from a column dict
+    produced by :meth:`ThroughputModel.estimate_batch` (NumPy scalars are
+    converted to plain Python values, preserving their bits)."""
+    return ArchitecturePerformance(
+        architecture_label=columns["architecture_label"],
+        clock_hz=columns["clock_hz"],
+        tiles_per_frame=columns["tiles_per_frame"],
+        compute_cycles_per_tile=float(columns["compute_cycles_per_tile"][index]),
+        transfer_cycles_per_tile=columns["transfer_cycles_per_tile"],
+        cycles_per_tile=float(columns["cycles_per_tile"][index]),
+        seconds_per_frame=float(columns["seconds_per_frame"][index]),
+        frames_per_second=float(columns["frames_per_second"][index]),
+        offchip_bytes_per_frame=columns["offchip_bytes_per_frame"],
+        compute_bound=bool(columns["compute_bound"][index]),
+    )

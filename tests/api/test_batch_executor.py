@@ -284,6 +284,82 @@ class TestProcessExecutor:
         assert len(results) == 2 and all(r.pareto for r in results)
 
 
+class TestInProcessWarmPath:
+    """ISSUE 4 satellite: the warm/cold split consults the *in-memory*
+    caches — full results and the characterization-key explorer cache —
+    not just the persistent store, so repeated in-session batches never pay
+    pool startup.  (Fast: nothing here is allowed to fork, which is the
+    point — so no ``par`` marker.)"""
+
+    @staticmethod
+    def _forbid_forking(monkeypatch):
+        def boom(*args, **kwargs):
+            raise AssertionError("ProcessPoolExecutor must not be created "
+                                 "for an in-session-warm batch")
+        monkeypatch.setattr("repro.api.executor.ProcessPoolExecutor", boom)
+
+    def test_rerun_of_a_computed_batch_forks_nothing(self, monkeypatch):
+        batch = [Workload.from_algorithm("blur", **SMALL),
+                 Workload.from_algorithm("jacobi", **SMALL)]
+        session = Session()
+        first = session.run_many(batch, executor="serial")
+        self._forbid_forking(monkeypatch)
+        rerun = session.run_many(batch, max_workers=4, executor="processes")
+        assert ([serialized(r) for r in rerun]
+                == [serialized(r) for r in first])
+
+    def test_new_frames_over_characterized_kernels_fork_nothing(
+            self, monkeypatch):
+        """A follow-up batch over new frame sizes reuses the in-memory cone
+        characterizations; forking would recompute them from scratch in the
+        workers, so it must stay in-process."""
+        batch = [Workload.from_algorithm("blur", **SMALL),
+                 Workload.from_algorithm("jacobi", **SMALL)]
+        session = Session()
+        session.run_many(batch, executor="serial")
+        runs_before = session.stats.synthesis_runs
+        self._forbid_forking(monkeypatch)
+        shifted = [workload.replace(frame_width=200, frame_height=150)
+                   for workload in batch]
+        results = session.run_many(shifted, max_workers=4,
+                                   executor="processes")
+        assert all(result.pareto for result in results)
+        # shared characterizations: the new frames paid zero synthesis
+        assert session.stats.synthesis_runs == runs_before
+
+    def test_cold_keys_still_prefer_forking(self):
+        """The in-memory probe must not claim workloads the session has
+        never seen (their keys have no explorer yet)."""
+        session = Session()
+        cold = Workload.from_algorithm("blur", **SMALL)
+        assert not session._prefers_in_process(cold)
+        session.run(cold)
+        assert session._prefers_in_process(cold)
+        # same characterization key, different frame: explorer-cache warm
+        assert session._prefers_in_process(
+            cold.replace(frame_width=200, frame_height=150))
+        # different kernel: genuinely cold
+        assert not session._prefers_in_process(
+            Workload.from_algorithm("jacobi", **SMALL))
+
+    def test_iteration_count_needing_new_depth_families_stays_cold(self):
+        """The probe checks family coverage, not mere explorer existence: an
+        iteration count that introduces uncharacterized depth families must
+        still fork (its synthesis genuinely parallelizes)."""
+        shallow = Workload.from_algorithm(
+            "blur", iterations=1, window_sides=(1, 2, 3), max_depth=2,
+            max_cones_per_depth=3)
+        session = Session()
+        session.run(shallow)  # characterizes the depth-1 family only
+        assert session._prefers_in_process(
+            shallow.replace(frame_width=200, frame_height=150))
+        deeper = shallow.replace(iterations=4)  # adds the depth-2 family
+        assert not session._prefers_in_process(deeper)
+        session.run(deeper)
+        assert session._prefers_in_process(deeper.replace(frame_width=64,
+                                                          frame_height=64))
+
+
 @pytest.mark.par
 @pytest.mark.slow
 class TestScalingSpeedup:

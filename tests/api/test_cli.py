@@ -103,6 +103,31 @@ class TestSweepCommand:
         # 2 kernels x 3 windows x 2 depths unique shapes bound the runs
         assert session["synthesis_runs"] <= 12
 
+    def test_sweep_formats_axis(self, capsys):
+        """ISSUE 4: multi-device/multi-format frontiers from one sweep (the
+        enumerated space is shared through the columnar table)."""
+        assert main(["sweep", "--algorithms", "blur",
+                     "--devices", "xc6vlx760,xc2vp30",
+                     "--formats", "fixed16,fixed32",
+                     "--frames", "128x96", "--windows", "1,2,3",
+                     "--max-depth", "2", "--iterations", "4",
+                     "--json", "--quiet"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["workloads"]) == 4
+        scenarios = {(entry["device"], entry["format"])
+                     for entry in payload["workloads"]}
+        assert scenarios == {("XC6VLX760", "fixed16"),
+                             ("XC6VLX760", "fixed32"),
+                             ("XC2VP30", "fixed16"),
+                             ("XC2VP30", "fixed32")}
+        assert all(entry["pareto_points"] > 0
+                   for entry in payload["workloads"])
+
+    def test_sweep_rejects_unknown_format(self, capsys):
+        assert main(["sweep", "--algorithms", "blur",
+                     "--formats", "fixed8", "--quiet"]) == 2
+        assert "error" in capsys.readouterr().err
+
     def test_sweep_table(self, capsys):
         assert main(["sweep", "--algorithms", "blur",
                      "--frames", "128x96", "--windows", "1,2",

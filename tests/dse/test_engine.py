@@ -1,0 +1,251 @@
+"""Tests for the columnar design-space engine (ISSUE 4 tentpole).
+
+The headline property: the engine and the legacy per-point scalar loop
+produce *byte-identical* serialized ``ExplorationResult``s — vectorization
+is a performance concern, never a semantics concern.
+"""
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.architecture.enumeration import ArchitectureSpace, space_table
+from repro.dse.constraints import DseConstraints
+from repro.dse.engine import explore_columnar, supports_columnar
+from repro.dse.explorer import DesignSpaceExplorer
+from repro.estimation.throughput_model import ThroughputModel
+from repro.ir.operators import DataFormat
+
+
+def small_explorer(kernel, **overrides):
+    keywords = dict(data_format=DataFormat.FIXED16,
+                    window_sides=(1, 2, 3, 4), max_depth=3,
+                    max_cones_per_depth=4, synthesize_all=True)
+    keywords.update(overrides)
+    return DesignSpaceExplorer(kernel, **keywords)
+
+
+def serialized(result):
+    return json.dumps(result.to_dict(), sort_keys=True)
+
+
+class TestEngineEquivalence:
+    """Engine output must be byte-identical to the scalar loop's."""
+
+    def test_unconstrained_exploration_is_byte_identical(self, igf_kernel):
+        explorer = small_explorer(igf_kernel)
+        engine = explorer.explore(6, 128, 96)
+        scalar = explorer.explore_scalar(6, 128, 96)
+        assert engine.design_points  # non-trivial space
+        assert serialized(engine) == serialized(scalar)
+
+    def test_constrained_exploration_is_byte_identical(self, igf_kernel):
+        explorer = small_explorer(igf_kernel)
+        baseline = explorer.explore(6, 128, 96)
+        areas = sorted(p.area_luts for p in baseline.design_points)
+        rates = sorted(p.frames_per_second for p in baseline.design_points)
+        # prune roughly half the space on each objective
+        constraints = DseConstraints(
+            max_area_luts=areas[len(areas) // 2],
+            min_frames_per_second=rates[len(rates) // 2],
+            device_only=True)
+        engine = explorer.explore(6, 128, 96, constraints=constraints)
+        scalar = explorer.explore_scalar(6, 128, 96, constraints=constraints)
+        assert 0 < len(engine.design_points) < len(baseline.design_points)
+        assert serialized(engine) == serialized(scalar)
+
+    def test_multi_field_kernel_is_byte_identical(self, chambolle_kernel):
+        explorer = small_explorer(chambolle_kernel, window_sides=(1, 2, 3),
+                                  max_depth=2, synthesize_all=False)
+        engine = explorer.explore(4, 64, 64)
+        scalar = explorer.explore_scalar(4, 64, 64)
+        assert serialized(engine) == serialized(scalar)
+
+    def test_pareto_entries_are_indices_into_design_points(self, igf_kernel):
+        """The engine hands the *same objects* to the Pareto list, so the
+        serialized Pareto set stays index-encoded (not parallel copies)."""
+        result = small_explorer(igf_kernel).explore(6, 128, 96)
+        payload = result.to_dict()
+        assert payload["pareto"]
+        assert all(isinstance(entry, int) for entry in payload["pareto"])
+
+
+class TestConstraintPushdown:
+    def test_area_infeasible_rows_are_never_costed(self, igf_kernel):
+        explorer = small_explorer(igf_kernel)
+        characterizations, _ = explorer.characterize_cones(6)
+        space = explorer._space(6)
+        baseline = explore_columnar(
+            space, characterizations, explorer.throughput_model, 128, 96)
+        assert baseline.pruned_rows == 0
+        cutoff = float(np.median(baseline.area_luts))
+        constrained = explore_columnar(
+            space, characterizations, explorer.throughput_model, 128, 96,
+            constraints=DseConstraints(max_area_luts=cutoff))
+        assert constrained.pruned_rows > 0
+        assert (constrained.admitted_rows + constrained.pruned_rows
+                == baseline.admitted_rows)
+        assert (constrained.area_luts <= cutoff).all()
+
+    def test_frontier_only_materialization(self, igf_kernel):
+        explorer = small_explorer(igf_kernel)
+        characterizations, _ = explorer.characterize_cones(6)
+        space = explorer._space(6)
+        full = explore_columnar(
+            space, characterizations, explorer.throughput_model, 128, 96)
+        frontier = explore_columnar(
+            space, characterizations, explorer.throughput_model, 128, 96,
+            materialize="frontier")
+        assert frontier.design_points is None
+        assert ([p.to_dict() for p in frontier.pareto]
+                == [p.to_dict() for p in full.pareto])
+
+    def test_unknown_materialize_mode_rejected(self, igf_kernel):
+        explorer = small_explorer(igf_kernel)
+        characterizations, _ = explorer.characterize_cones(6)
+        with pytest.raises(ValueError, match="materialize"):
+            explore_columnar(explorer._space(6), characterizations,
+                             explorer.throughput_model, 128, 96,
+                             materialize="everything")
+
+
+class TestSharedTable:
+    def test_row_order_matches_scalar_enumeration(self):
+        space = ArchitectureSpace(kernel_name="blur", total_iterations=6,
+                                  radius=1, window_sides=(1, 2, 3),
+                                  max_depth=3, max_cones_per_depth=4)
+        table = space.table()
+        rows = [(architecture.window_side,
+                 tuple(architecture.level_depths),
+                 architecture.cone_counts[max(architecture.level_depths)])
+                for architecture in space.architectures()]
+        assert table.rows == space.size() == len(rows)
+        for index, (window, split, count) in enumerate(rows):
+            assert table.window[index] == window
+            assert table.splits[table.split_index[index]] == split
+            assert table.primary_count[index] == count
+            assert table.primary_depth[index] == max(split)
+
+    def test_table_is_shared_across_kernels_devices_and_formats(self):
+        """The enumeration depends only on the shape knobs, so sweeps over
+        devices/formats/kernels cost one table, not one per workload."""
+        shape = dict(total_iterations=6, window_sides=(1, 2, 3),
+                     max_depth=3, max_cones_per_depth=4)
+        blur = ArchitectureSpace(kernel_name="blur", radius=1, **shape)
+        chamb = ArchitectureSpace(kernel_name="chamb", radius=2,
+                                  components=3, **shape)
+        assert space_table(blur) is space_table(chamb)
+        other = ArchitectureSpace(kernel_name="blur", radius=1,
+                                  total_iterations=7, window_sides=(1, 2, 3),
+                                  max_depth=3, max_cones_per_depth=4)
+        assert space_table(blur) is not space_table(other)
+
+    def test_table_arrays_are_read_only(self):
+        space = ArchitectureSpace(kernel_name="blur", total_iterations=6,
+                                  radius=1, window_sides=(1, 2),
+                                  max_depth=2, max_cones_per_depth=2)
+        table = space.table()
+        with pytest.raises(ValueError):
+            table.window[0] = 99
+
+
+class TestBackendCompatibility:
+    def test_builtin_model_is_columnar_capable(self):
+        assert supports_columnar(ThroughputModel())
+
+    def test_override_of_evaluate_disables_the_engine(self, igf_kernel):
+        """A backend that overrides ``evaluate`` must be honored point-wise:
+        the explorer falls back to the scalar loop instead of silently
+        evaluating the stock batch formula."""
+
+        class Halved(ThroughputModel):
+            def evaluate(self, architecture, cone_performance,
+                         frame_width, frame_height):
+                performance = super().evaluate(
+                    architecture, cone_performance, frame_width, frame_height)
+                return dataclasses.replace(
+                    performance,
+                    seconds_per_frame=performance.seconds_per_frame * 2.0,
+                    frames_per_second=performance.frames_per_second / 2.0)
+
+        assert not supports_columnar(Halved())
+        explorer = small_explorer(igf_kernel,
+                                  throughput_model_factory=Halved)
+        auto = explorer.explore(6, 128, 96)
+        scalar = explorer.explore_scalar(6, 128, 96)
+        assert serialized(auto) == serialized(scalar)
+        stock = small_explorer(igf_kernel).explore(6, 128, 96)
+        assert (auto.design_points[0].seconds_per_frame
+                == 2.0 * stock.design_points[0].seconds_per_frame)
+
+    def test_override_of_compute_cycles_hook_disables_the_engine(
+            self, igf_kernel):
+        """``compute_cycles_per_tile`` is a public hook ``evaluate`` calls;
+        a subclass override must be honored (scalar fallback), never
+        silently replaced by the stock batch accumulation."""
+
+        class Congested(ThroughputModel):
+            def compute_cycles_per_tile(self, architecture,
+                                        cone_performance):
+                return 1.5 * super().compute_cycles_per_tile(
+                    architecture, cone_performance)
+
+        assert not supports_columnar(Congested())
+        explorer = small_explorer(igf_kernel,
+                                  throughput_model_factory=Congested)
+        auto = explorer.explore(6, 128, 96)
+        assert serialized(auto) == serialized(explorer.explore_scalar(6, 128,
+                                                                      96))
+        stock = small_explorer(igf_kernel).explore(6, 128, 96)
+        assert (auto.design_points[0].performance.compute_cycles_per_tile
+                == 1.5 * stock.design_points[0].performance
+                .compute_cycles_per_tile)
+
+    def test_override_of_estimate_batch_alone_disables_the_engine(
+            self, igf_kernel):
+        """A lone ``estimate_batch`` override cannot be proven consistent
+        with scalar evaluation, so the explorer falls back to the scalar
+        loop (where the override is simply never consulted)."""
+
+        class Padded(ThroughputModel):
+            def estimate_batch(self, architecture, cone_performance,
+                               frame_width, frame_height, primary_counts):
+                columns = dict(super().estimate_batch(
+                    architecture, cone_performance, frame_width,
+                    frame_height, primary_counts))
+                columns["seconds_per_frame"] = (
+                    columns["seconds_per_frame"] * 1.25)
+                return columns
+
+        assert not supports_columnar(Padded())
+        explorer = small_explorer(igf_kernel,
+                                  throughput_model_factory=Padded)
+        auto = explorer.explore(6, 128, 96)
+        assert serialized(auto) == serialized(explorer.explore_scalar(6, 128,
+                                                                      96))
+        # scalar evaluation never consults the batch override
+        assert serialized(auto) == serialized(
+            small_explorer(igf_kernel).explore(6, 128, 96))
+
+    def test_interval_hook_override_keeps_engine_usable_and_consistent(
+            self, igf_kernel):
+        """The fine-grained hooks are invoked on the instance by both
+        paths, so overriding them composes with the engine."""
+
+        class SlowPorts(ThroughputModel):
+            def execution_interval_cycles(self, architecture, depth,
+                                          performance):
+                return 2.0 * super().execution_interval_cycles(
+                    architecture, depth, performance)
+
+        assert supports_columnar(SlowPorts())
+        explorer = small_explorer(igf_kernel,
+                                  throughput_model_factory=SlowPorts)
+        auto = explorer.explore(6, 128, 96)
+        assert serialized(auto) == serialized(explorer.explore_scalar(6, 128,
+                                                                      96))
+        stock = small_explorer(igf_kernel).explore(6, 128, 96)
+        assert (auto.design_points[0].seconds_per_frame
+                > stock.design_points[0].seconds_per_frame)

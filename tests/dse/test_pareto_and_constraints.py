@@ -1,11 +1,13 @@
 """Unit tests for Pareto extraction, design points and constraints."""
 
+import numpy as np
 import pytest
 
 from repro.architecture.template import ConeArchitecture
 from repro.dse.constraints import DseConstraints
 from repro.dse.design_point import DesignPoint
-from repro.dse.pareto import is_dominated, pareto_front
+from repro.dse.pareto import (_VECTORIZE_THRESHOLD, is_dominated,
+                              pareto_front, pareto_indices)
 from repro.estimation.throughput_model import ArchitecturePerformance
 
 
@@ -86,6 +88,87 @@ class TestParetoFront:
             on_front = any(point is f for f in front)
             dominated = any(is_dominated(point, f) for f in front)
             assert on_front or dominated
+
+
+def reference_scan(points):
+    """Longhand sort-and-scan twin used to pin both production paths."""
+    ordered = sorted(points, key=lambda p: (p.area_luts, p.seconds_per_frame))
+    front, best_time = [], float("inf")
+    for point in ordered:
+        if point.seconds_per_frame < best_time:
+            front.append(point)
+            best_time = point.seconds_per_frame
+    return front
+
+
+class TestTieBreakingDeterminism:
+    """ISSUE 4 satellite: equal (area, time) points keep one representative
+    — the first seen in the input — identically on the pure-Python and the
+    NumPy path (both sorts are stable)."""
+
+    def test_small_input_keeps_first_seen_duplicate(self):
+        first = make_point(100, 1.0)
+        second = make_point(100, 1.0)
+        front = pareto_front([first, second])
+        assert len(front) == 1 and front[0] is first
+        # ... and input order, not construction order, decides
+        front = pareto_front([second, first])
+        assert len(front) == 1 and front[0] is second
+
+    def test_numpy_and_python_paths_agree_on_ties(self):
+        """The same point multiset, below and above the vectorization
+        threshold, must keep identity-identical representatives."""
+        pairs = [(100 + 10 * (i % 7), 1.0 + (i % 5) * 0.25)
+                 for i in range(_VECTORIZE_THRESHOLD - 4)]
+        small_points = [make_point(a, t) for a, t in pairs]
+        small_front = pareto_front(small_points)          # pure-Python scan
+        padding = [make_point(1e9, 1e9)                   # dominated filler
+                   for _ in range(8)]
+        large_points = small_points + padding
+        assert len(large_points) >= _VECTORIZE_THRESHOLD
+        large_front = pareto_front(large_points)          # NumPy path
+        assert [id(p) for p in large_front] == [id(p) for p in small_front]
+        assert small_front == reference_scan(small_points)
+
+    def test_pareto_indices_matches_pareto_front_order(self):
+        pairs = [(150, 3.0), (100, 5.0), (100, 5.0), (300, 1.0), (150, 3.0),
+                 (300, 1.0), (120, 4.0)]
+        points = [make_point(a, t) for a, t in pairs]
+        order = pareto_indices(np.array([a for a, _ in pairs], dtype=float),
+                               np.array([t for _, t in pairs], dtype=float))
+        assert [points[i] for i in order] == pareto_front(points)
+        # first-seen representatives: the duplicate rows keep the lower index
+        assert list(order) == [1, 6, 0, 3]
+
+
+class TestNonFiniteRejection:
+    """NaN/inf objectives are estimation bugs; both paths refuse them."""
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"),
+                                     float("-inf")])
+    @pytest.mark.parametrize("objective", ["area", "time"])
+    def test_python_path_rejects_non_finite(self, bad, objective):
+        points = [make_point(100, 1.0),
+                  make_point(bad, 1.0) if objective == "area"
+                  else make_point(100, bad)]
+        with pytest.raises(ValueError, match="finite"):
+            pareto_front(points)
+
+    def test_numpy_path_rejects_non_finite(self):
+        points = [make_point(100 + i, 1.0) for i in range(_VECTORIZE_THRESHOLD)]
+        points.append(make_point(float("nan"), 1.0))
+        with pytest.raises(ValueError, match="finite"):
+            pareto_front(points)
+
+    def test_pareto_indices_rejects_non_finite_and_bad_shapes(self):
+        with pytest.raises(ValueError, match="finite"):
+            pareto_indices(np.array([1.0, float("inf")]),
+                           np.array([1.0, 2.0]))
+        with pytest.raises(ValueError, match="equal length"):
+            pareto_indices(np.array([1.0, 2.0]), np.array([1.0]))
+
+    def test_empty_columns_yield_empty_front(self):
+        assert pareto_indices(np.empty(0), np.empty(0)).size == 0
 
 
 class TestConstraints:
