@@ -20,7 +20,13 @@ This is the 60-second tour of the public API (:mod:`repro.api`):
 7. sweep one kernel across devices *and* data formats in a single batch —
    every scenario is evaluated by the columnar engine
    (:mod:`repro.dse.engine`) against one shared architecture table, so the
-   candidate space is enumerated once, not once per workload.
+   candidate space is enumerated once, not once per workload;
+8. serve exploration traffic from a long-lived daemon
+   (:mod:`repro.service`): ``python -m repro serve --store DIR`` starts an
+   HTTP job API over one shared session; ``ReproClient.submit(...)`` (or
+   ``python -m repro submit blur``) files jobs that coalesce with
+   identical in-flight requests, schedule by priority class, and ride
+   batched ``run_many`` dispatches.
 
 Run with::
 
@@ -176,6 +182,32 @@ def main() -> None:
         fastest = "-" if best is None else f"{best.frames_per_second:7.1f} fps"
         print(f"  {scenario.device.name:<12} {scenario.data_format.value:<8} "
               f"{len(result.pareto):>2} Pareto points   best {fastest}")
+    print()
+
+    # 8. service mode: the same workloads served by a long-lived daemon.
+    #    One ReproServer = one shared session behind a job API; identical
+    #    in-flight submissions coalesce onto one computation, bursts ride
+    #    batched run_many dispatches, and everything is also reachable
+    #    over HTTP:  python -m repro serve --store DIR   then
+    #                python -m repro submit blur --priority interactive
+    #    (see examples/service_demo.py for the full tour)
+    from repro.service import ReproClient, ReproServer
+
+    server = ReproServer(start=False)   # paused: let the burst land first
+    try:
+        client = ReproClient(server)
+        handles = [client.submit(workload.replace(synthesize_all=False),
+                                 priority="interactive")
+                   for _ in range(4)]
+        server.start()
+        pareto_sizes = {len(h.result(timeout=60).pareto) for h in handles}
+        stats = server.stats()
+        print(f"service mode: {stats['queue']['submitted']} submissions "
+              f"coalesced into {stats['queue']['completed']} computation(s) "
+              f"(hit-rate {stats['queue']['coalesce_hit_rate']:.0%}), "
+              f"identical frontiers: {len(pareto_sizes) == 1}")
+    finally:
+        server.close()
 
 
 if __name__ == "__main__":

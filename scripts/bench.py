@@ -37,6 +37,12 @@ multi-core runner the ``processes`` strategy is the headline number
 (CPU-bound characterization work sidesteps the GIL); on a single core it
 only measures the forking overhead.
 
+And a ``service_throughput`` section (skip with ``--skip-service``): a
+16-job burst (4 unique device/format scenarios, 4 concurrent submitters
+each) through the in-process exploration service
+(:mod:`repro.service`), recording jobs/s, the coalesce hit-rate, and the
+``run_many`` batch sizes the scheduler dispatched.
+
 Each module entry aggregates the wall time and synthesis-run count of the
 workload(s) it draws on; workload wall times are per-workload session
 latencies, so under a threaded batch their sum can exceed the batch wall
@@ -260,6 +266,83 @@ def run_columnar_vs_scalar(repeats=5) -> dict:
     }
 
 
+#: The service-throughput burst: 4 distinct scenario workloads (devices x
+#: formats over one kernel family) each submitted 4 times by concurrent
+#: clients — 16 jobs, 12 of which should coalesce or batch away.
+def _service_burst():
+    from repro.ir.operators import DataFormat
+
+    scenarios = [
+        Workload.from_algorithm(
+            "blur", device=device, data_format=data_format, iterations=6,
+            frame_width=640, frame_height=480, window_sides=(1, 2, 3, 4),
+            max_depth=3, max_cones_per_depth=6)
+        for device in ("xc6vlx760", "xc2vp30")
+        for data_format in (DataFormat.FIXED16, DataFormat.FIXED32)
+    ]
+    return [scenario for scenario in scenarios for _ in range(4)]
+
+
+def run_service_throughput() -> dict:
+    """Drive a concurrent burst through the exploration service.
+
+    16 jobs (4 unique device/format scenarios x 4 duplicate submitters)
+    land on a paused in-process :class:`repro.service.ReproServer` from 16
+    threads, then the scheduler is released: duplicates coalesce onto one
+    job each and the 4 unique scenarios ride batched ``run_many``
+    dispatches over the shared columnar table.  Records jobs/s, the
+    coalesce hit-rate, and the dispatched batch sizes.
+    """
+    import threading
+
+    from repro.service import ReproClient, ReproServer
+
+    burst = _service_burst()
+    server = ReproServer(start=False)
+    client = ReproClient(server)
+    handles = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(len(burst))
+
+    def submit(workload):
+        barrier.wait()
+        handle = client.submit(workload, priority="batch")
+        with lock:
+            handles.append(handle)
+
+    threads = [threading.Thread(target=submit, args=(workload,))
+               for workload in burst]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    server.start()
+    for handle in handles:
+        handle.result(timeout=600)
+    wall_s = time.perf_counter() - started
+    stats = server.stats()
+    server.close()
+    jobs_per_s = len(burst) / wall_s if wall_s > 0 else None
+    print(f"    {len(burst)} jobs in {wall_s:.2f}s "
+          f"({jobs_per_s:.1f} jobs/s), coalesce hit-rate "
+          f"{stats['queue']['coalesce_hit_rate']:.2f}, batch sizes "
+          f"{stats['scheduler']['recent_batch_sizes']}")
+    return {
+        "transport": "in-process",
+        "jobs": len(burst),
+        "unique_workloads": len(set(burst)),
+        "wall_s": wall_s,
+        "jobs_per_s": jobs_per_s,
+        "coalesce_hits": stats["queue"]["coalesced"],
+        "coalesce_hit_rate": stats["queue"]["coalesce_hit_rate"],
+        "batch_sizes": stats["scheduler"]["recent_batch_sizes"],
+        "batched_dispatches": stats["scheduler"]["batched_dispatches"],
+        "session_synthesis_runs": stats["session"]["synthesis_runs"],
+        "shared_table": stats["shared_table"],
+    }
+
+
 def module_summary(modules, per_workload) -> dict:
     """Map each bench module to its workloads plus their aggregate cost."""
     summary = {}
@@ -317,6 +400,10 @@ def main(argv=None) -> int:
     parser.add_argument("--skip-columnar", action="store_true",
                         help="skip the columnar-engine-vs-scalar-explorer "
                              "exploration benchmark")
+    parser.add_argument("--skip-service", action="store_true",
+                        help="skip the exploration-service throughput "
+                             "burst (jobs/s, coalesce hit-rate, batch "
+                             "sizes)")
     args = parser.parse_args(argv)
 
     modules = discover_bench_modules()
@@ -380,6 +467,11 @@ def main(argv=None) -> int:
               f"{scaling['processes']['speedup_vs_serial']:.2f}x "
               f"(identical results: "
               f"{snapshot['executor_scaling']['results_identical']})")
+
+    if not args.skip_service:
+        print("running the service throughput burst "
+              "(16 jobs, 4 unique scenarios, concurrent submitters)...")
+        snapshot["service_throughput"] = run_service_throughput()
 
     if args.pytest:
         print("running the pytest benchmark suite...")

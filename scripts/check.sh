@@ -8,6 +8,10 @@
 # must import with nothing beyond NumPy + the stdlib.
 #   scripts/check.sh --par      # process-parallel executor/store-stress
 #                               # tests only, plus marker-hygiene checks
+#   scripts/check.sh --service  # service smoke: boot `python -m repro
+#                               # serve` on an ephemeral port, submit two
+#                               # workloads over HTTP, assert digests match
+#                               # direct Session.run, clean shutdown
 #   scripts/check.sh -k store   # extra args are passed through to pytest
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -57,6 +61,13 @@ case "${1:-}" in
 --fast)
     shift
     PYTEST_ARGS+=(-m "not slow")
+    ;;
+--service)
+    shift
+    python -m compileall -q src
+    PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+        python scripts/service_smoke.py "$@"
+    exit $?
     ;;
 --par)
     shift

@@ -24,6 +24,16 @@ Subcommands
 ``cache``
     Inspect (``stats``), empty (``clear``), or dump (``export``) a
     persistent artifact store directory.
+``serve``
+    Run the long-lived exploration service (:mod:`repro.service`): one
+    shared session behind an HTTP JSON job API that coalesces identical
+    in-flight requests and dispatches compatible bursts as batched
+    ``run_many`` calls.  ``--store`` gives the daemon a persistent cache;
+    ``--port 0`` binds an ephemeral port (printed on startup).
+``submit``
+    Send one workload to a running service (``--server URL``), wait for
+    the result, and print it like ``explore`` — or ``--no-wait`` to just
+    queue it and print the job id.
 
 ``explore``, ``codegen``, and ``sweep`` accept ``--store [DIR]`` to persist
 characterizations and results across invocations (default directory:
@@ -166,6 +176,56 @@ def build_parser() -> argparse.ArgumentParser:
                             f"{default_store_path()})")
     sweep.set_defaults(handler=cmd_sweep)
 
+    serve = commands.add_parser(
+        "serve", help="run the long-lived exploration service")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="interface to bind (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=None,
+                       help="TCP port (default: 8177; 0 binds an "
+                            "ephemeral port, printed on startup)")
+    serve.add_argument("--backend", default="local", metavar="NAME",
+                       help="service backend from the registry "
+                            "(default: local)")
+    serve.add_argument("--max-batch", type=int, default=16,
+                       help="largest run_many batch one dispatch may form "
+                            "(default: 16)")
+    serve.add_argument("--batch-window", type=float, default=0.05,
+                       metavar="S",
+                       help="seconds the scheduler lingers for a burst to "
+                            "finish arriving before sealing a batch "
+                            "(default: 0.05)")
+    _add_executor_arguments(serve)
+    serve.add_argument("--store", metavar="DIR", nargs="?",
+                       const=default_store_path(), default=None,
+                       help="persist characterizations/results under DIR "
+                            "(default when DIR is omitted: "
+                            f"{default_store_path()})")
+    serve.add_argument("--quiet", action="store_true",
+                       help="suppress job/stage events on stderr")
+    serve.set_defaults(handler=cmd_serve)
+
+    submit = commands.add_parser(
+        "submit", help="submit one workload to a running service")
+    _add_workload_arguments(submit, include_store=False)
+    submit.add_argument("--server", default="http://127.0.0.1:8177",
+                        metavar="URL",
+                        help="service endpoint "
+                             "(default: http://127.0.0.1:8177)")
+    submit.add_argument("--priority", default="batch",
+                        choices=["interactive", "batch", "background"],
+                        help="priority class (default: batch)")
+    submit.add_argument("--timeout", type=float, default=None, metavar="S",
+                        help="per-job timeout budget in seconds "
+                             "(default: unbounded)")
+    submit.add_argument("--no-wait", action="store_true",
+                        help="queue the job and print its id instead of "
+                             "waiting for the result")
+    submit.add_argument("--json", action="store_true",
+                        help="emit the full FlowResult as JSON")
+    submit.add_argument("-o", "--output", metavar="FILE",
+                        help="write the JSON payload to FILE")
+    submit.set_defaults(handler=cmd_submit)
+
     cache = commands.add_parser(
         "cache", help="inspect or maintain a persistent artifact store")
     cache_actions = cache.add_subparsers(dest="cache_command", required=True)
@@ -197,7 +257,8 @@ def _add_executor_arguments(parser: argparse.ArgumentParser) -> None:
                              "(default: auto)")
 
 
-def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
+def _add_workload_arguments(parser: argparse.ArgumentParser,
+                            include_store: bool = True) -> None:
     parser.add_argument("algorithm", help="registry algorithm name "
                                           "(see `python -m repro list`)")
     parser.add_argument("--frame", default=_FRAME, metavar="WxH",
@@ -230,13 +291,14 @@ def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
                         help="area constraint (kLUTs)")
     parser.add_argument("--device-only", action="store_true",
                         help="keep only design points fitting the device")
-    parser.add_argument("--store", metavar="DIR", nargs="?",
-                        const=default_store_path(), default=None,
-                        help="persist characterizations/results under DIR "
-                             "(default when DIR is omitted: "
-                             f"{default_store_path()})")
-    parser.add_argument("--quiet", action="store_true",
-                        help="suppress progress events on stderr")
+    if include_store:
+        parser.add_argument("--store", metavar="DIR", nargs="?",
+                            const=default_store_path(), default=None,
+                            help="persist characterizations/results under "
+                                 "DIR (default when DIR is omitted: "
+                                 f"{default_store_path()})")
+        parser.add_argument("--quiet", action="store_true",
+                            help="suppress progress events on stderr")
 
 
 # ---------------------------------------------------------------------- #
@@ -309,6 +371,13 @@ def _print_event(event: SessionEvent) -> None:
     elif event.kind == "workload-failed":
         print(f"  [{event.workload.name}] FAILED: {event.detail}",
               file=sys.stderr)
+    elif event.kind in ("job-queued", "job-coalesced", "job-finished",
+                        "job-failed"):
+        # service-mode lifecycle stream (the detail carries the job id)
+        elapsed = ("" if event.elapsed_s is None
+                   else f" {event.elapsed_s:7.3f}s")
+        print(f"  [{event.workload.name}] {event.kind[4:]:<12} "
+              f"{event.detail}{elapsed}", file=sys.stderr)
 
 
 def _write_payload(payload: object, args: argparse.Namespace) -> None:
@@ -478,6 +547,75 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     if session.store is not None:
         print(f"persistent store: {stats.store_disk_hits} disk hit(s), "
               f"{stats.store_writes} write(s) under {session.store.root}")
+    return 0
+
+
+# ---------------------------------------------------------------------- #
+# service mode
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro.api.registry import create_backend
+    from repro.service.server import DEFAULT_PORT
+
+    session = _session(args)
+    server = create_backend("service", args.backend, session=session,
+                            executor=args.executor,
+                            max_workers=args.jobs,
+                            max_batch=args.max_batch,
+                            batch_window_s=args.batch_window)
+    port = DEFAULT_PORT if args.port is None else args.port
+    host, bound_port = server.serve_http(args.host, port)
+    # stdout, flushed: the line tooling (scripts/service_smoke.py) parses
+    # to discover an ephemeral --port 0 binding
+    print(f"repro service listening on http://{host}:{bound_port}",
+          flush=True)
+    if session.store is not None:
+        print(f"  persistent store: {session.store.root}", file=sys.stderr)
+    print(f"  executor={args.executor} max_batch={args.max_batch} "
+          f"(POST /shutdown or Ctrl-C drains and stops)", file=sys.stderr)
+
+    def _terminate(_signum, _frame):
+        raise KeyboardInterrupt
+
+    try:
+        signal.signal(signal.SIGTERM, _terminate)
+    except ValueError:
+        pass  # not on the main thread (tests drive cmd_serve directly)
+    try:
+        server.wait()
+    except KeyboardInterrupt:
+        print("interrupt: draining queued jobs...", file=sys.stderr)
+    server.close()
+    print("repro service stopped", file=sys.stderr)
+    return 0
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service.client import ReproClient
+    from repro.service.jobs import ServiceError
+
+    workload = workload_from_args(args)
+    client = ReproClient(args.server)
+    try:
+        handle = client.submit(workload, priority=args.priority,
+                               timeout_s=args.timeout)
+        if args.no_wait:
+            print(handle.id)
+            return 0
+        result = handle.result(timeout=args.timeout)
+    except ServiceError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if args.json or args.output:
+        _write_payload(result.to_dict(), args)
+        return 0
+    from repro.flow.report import flow_summary, pareto_table
+    print(flow_summary(result.exploration))
+    print()
+    print(pareto_table(result.pareto))
     return 0
 
 

@@ -62,6 +62,7 @@ from typing import (
     Protocol,
     Sequence,
     Tuple,
+    Union,
     runtime_checkable,
 )
 
@@ -87,6 +88,27 @@ class ExecutionStrategy(Protocol):
                   max_workers: Optional[int] = None) -> List[FlowResult]:
         """Run every workload through ``session``; results in input order."""
         ...
+
+
+def resolve_strategy(executor: Union[str, ExecutionStrategy, None]
+                     ) -> ExecutionStrategy:
+    """Resolve ``run_many``'s ``executor`` argument to a strategy instance.
+
+    ``None`` means the default (``threads``); a string is looked up under
+    the ``executor`` kind of :mod:`repro.api.registry`; a strategy object
+    passes through unchanged.  The one hand-off point shared by
+    :meth:`Session.run_many` and the service scheduler
+    (:mod:`repro.service.scheduler`), so both surfaces accept exactly the
+    same executor names — and a long-lived server validates its configured
+    name at startup instead of on the first burst.
+    """
+    if executor is None:
+        executor = "threads"
+    if isinstance(executor, str):
+        from repro.api.registry import create_backend
+
+        return create_backend("executor", executor)
+    return executor
 
 
 def validate_max_workers(max_workers: Optional[int]) -> Optional[int]:

@@ -33,6 +33,14 @@ Backends are registered under one of four *kinds*:
     :meth:`repro.api.Session.run_many` (``run_batch(session, workloads,
     max_workers=None)``); the built-ins (``serial``/``threads``/
     ``processes``) live in :mod:`repro.api.executor`.
+``service``
+    Factory ``(session=..., executor=..., max_batch=..., ...) ->`` a
+    long-lived exploration server exposing the job API (``submit`` /
+    ``status`` / ``result`` / ``stats`` / ``healthz``); the built-in
+    (``local``, :class:`repro.service.server.ReproServer`) lives in
+    :mod:`repro.service` and backs ``python -m repro serve``.  An
+    out-of-tree deployment (a gRPC frontend, a queue-backed farm) plugs
+    in by registering a factory with the same surface.
 
 Factories are invoked with keyword arguments only, so the built-in classes
 (:class:`repro.synth.Synthesizer`, :class:`repro.estimation.RegisterAreaModel`,
@@ -83,7 +91,7 @@ DISCOVERY_ENV_VAR = "REPRO_BACKENDS"
 
 #: The extension-point kinds the registry knows.
 BACKEND_KINDS: Tuple[str, ...] = ("synthesizer", "area", "throughput",
-                                  "device", "executor")
+                                  "device", "executor", "service")
 
 
 class BackendError(KeyError):
@@ -238,6 +246,19 @@ def _ensure_executor_builtins() -> None:
         importlib.import_module("repro.api.executor")
 
 
+def _ensure_service_builtins() -> None:
+    """Import :mod:`repro.service.server` so ``service`` built-ins exist.
+
+    Same lazy self-registration idiom as the executors: the service tier
+    lives outside :mod:`repro.api` (it *uses* sessions), so the registry
+    must not import it eagerly — only when a ``service`` lookup asks.
+    """
+    with _registry_lock:
+        registered = bool(_backends["service"])
+    if not registered:
+        importlib.import_module("repro.service.server")
+
+
 def get_backend(kind: str, name: str) -> Callable[..., Any]:
     """The factory registered under ``(kind, name)``.
 
@@ -247,6 +268,8 @@ def get_backend(kind: str, name: str) -> Callable[..., Any]:
     _check_kind(kind)
     if kind == "executor":
         _ensure_executor_builtins()
+    elif kind == "service":
+        _ensure_service_builtins()
     discover_backends()
     with _registry_lock:
         factory = _backends[kind].get(name.lower())
@@ -279,6 +302,8 @@ def list_backends(kind: Optional[str] = None) -> Dict[str, List[str]]:
     """Registered backend names, per kind (or only the requested kind)."""
     if kind is None or kind == "executor":
         _ensure_executor_builtins()
+    if kind is None or kind == "service":
+        _ensure_service_builtins()
     discover_backends()
     with _registry_lock:
         kinds = (_check_kind(kind),) if kind is not None else BACKEND_KINDS

@@ -109,6 +109,13 @@ class Session:
     synthesizer invocations (observable as ``stats.store_disk_hits`` with
     ``stats.synthesis_runs == 0``).  Without a store (the default), caching
     stays in-memory exactly as before.
+
+    Sessions are safe for concurrent :meth:`run` callers (the service tier
+    shares one session across every request thread): the cache registries
+    are guarded by an internal lock, racing threads on one cold
+    characterization key serialize on that key's lock so the synthesis
+    happens exactly once, and the statistics counters take a dedicated
+    stats lock so no increment is ever lost to a read-modify-write race.
     """
 
     def __init__(self, on_event: Optional[Callable[[SessionEvent], None]] = None,
@@ -132,7 +139,15 @@ class Session:
         #: Keys with work in flight (refcounts); evict() leaves them alone.
         self._active_keys: Dict[Tuple, int] = {}
         self._registry_lock = threading.Lock()
+        self._callbacks_lock = threading.Lock()
         self._callbacks: List[Callable[[SessionEvent], None]] = []
+        # SessionStats mutations get their own (uncontended) lock: store
+        # observers and per-workload accounting fire from every worker
+        # thread of a batch — and from every service scheduler dispatch —
+        # so funnelling them through the registry lock would serialize
+        # bookkeeping against cache lookups, and leaving them bare would
+        # lose increments to the classic read-modify-write race.
+        self._stats_lock = threading.Lock()
         self._stats = SessionStats()
         # events raised while this thread holds a key lock are buffered here
         # and flushed after release, so callbacks never run under internal
@@ -145,15 +160,24 @@ class Session:
     # events
 
     def on_event(self, callback: Callable[[SessionEvent], None]) -> None:
-        """Register an additional progress/event callback."""
-        self._callbacks.append(callback)
+        """Register an additional progress/event callback.
+
+        Safe to call while other threads run workloads (the service
+        registers observers against a live session); events emitted
+        concurrently with the registration may or may not reach the new
+        callback.
+        """
+        with self._callbacks_lock:
+            self._callbacks.append(callback)
 
     def _emit(self, event: SessionEvent) -> None:
         pending = getattr(self._deferred, "pending", None)
         if pending is not None:
             pending.append(event)
             return
-        for callback in self._callbacks:
+        with self._callbacks_lock:
+            callbacks = list(self._callbacks)
+        for callback in callbacks:
             callback(event)
 
     def _locked_section(self):
@@ -228,7 +252,10 @@ class Session:
                                   workload.throughput_estimator)]
 
     def _record_store_event(self, event: str) -> None:
-        with self._registry_lock:
+        # dedicated stats lock: store traffic is reported from every
+        # worker thread, and a bare += here would drop counts under
+        # concurrency (read-modify-write) — see tests/api/test_concurrency
+        with self._stats_lock:
             if event == "hit":
                 self._stats.store_disk_hits += 1
             elif event == "miss":
@@ -298,7 +325,9 @@ class Session:
             # run never loses its synthesis accounting.
             for key in [k for k in self._explorers
                         if k not in self._active_keys]:
-                self._fold_explorer(self._stats, self._explorers.pop(key))
+                explorer = self._explorers.pop(key)
+                with self._stats_lock:
+                    self._fold_explorer(self._stats, explorer)
             # _key_locks is deliberately kept: an in-flight run may hold one
             # of these locks, and a post-evict rebuild of the same key must
             # serialize against it rather than against a fresh lock.
@@ -387,7 +416,7 @@ class Session:
                                 workload, stored)
                 if stored is not None:
                     elapsed = time.perf_counter() - started
-                    with self._registry_lock:
+                    with self._stats_lock:
                         self._stats.workloads_run += 1
                         self._stats.workload_time_s += elapsed
                     self._emit(SessionEvent("cache-hit", workload,
@@ -418,7 +447,7 @@ class Session:
                         # reuse (e.g. new depth families for a higher
                         # iteration count) honestly counts as a miss.
                         hit = explorer.synthesizer.runs == runs_before
-                        with self._registry_lock:
+                        with self._stats_lock:
                             if hit:
                                 self._stats.characterization_cache_hits += 1
                             else:
@@ -431,7 +460,7 @@ class Session:
             finally:
                 self._mark_active(key, -1)
         except Exception as error:
-            with self._registry_lock:
+            with self._stats_lock:
                 self._stats.workloads_failed += 1
             self._emit(SessionEvent("workload-failed", workload,
                                     elapsed_s=time.perf_counter() - started,
@@ -456,7 +485,7 @@ class Session:
                 if written is not None:
                     self._record_store_event("write")
         elapsed = time.perf_counter() - started
-        with self._registry_lock:
+        with self._stats_lock:
             self._stats.workloads_run += 1
             self._stats.workload_time_s += elapsed
         self._emit(SessionEvent("workload-finished", workload,
@@ -481,17 +510,13 @@ class Session:
         whose cone characterizations this session already holds in memory —
         stay in-process either way (no pool startup).
         """
-        from repro.api.executor import validate_max_workers
+        from repro.api.executor import resolve_strategy, validate_max_workers
 
         validate_max_workers(max_workers)
         workloads = list(workloads)
         if not workloads:
             return []
-        strategy = executor if executor is not None else "threads"
-        if isinstance(strategy, str):
-            from repro.api.registry import create_backend
-
-            strategy = create_backend("executor", strategy)
+        strategy = resolve_strategy(executor)
         return list(strategy.run_batch(self, workloads,
                                        max_workers=max_workers))
 
@@ -550,7 +575,7 @@ class Session:
         """Fold a worker-process session's ``SessionStats.to_dict()`` into
         this session's counters (worker explorers die with their process, so
         their already-folded totals arrive through the payload)."""
-        with self._registry_lock:
+        with self._stats_lock:
             for field in dataclasses.fields(SessionStats):
                 value = payload.get(field.name, 0)
                 setattr(self._stats, field.name,
@@ -589,10 +614,15 @@ class Session:
     def stats(self) -> SessionStats:
         """Aggregated counters, including synthesizer totals of every cached
         explorer."""
+        # registry -> stats nesting (same order as evict's fold), so a
+        # concurrent evict() can never fold an explorer's counters into
+        # _stats between our base snapshot and our explorer listing —
+        # which would drop that explorer's synthesis totals from the view
         with self._registry_lock:
-            # full-field snapshot (includes counters folded in from
-            # explorers evicted earlier)
-            stats = dataclasses.replace(self._stats)
+            with self._stats_lock:
+                # full-field snapshot (includes counters folded in from
+                # explorers evicted earlier)
+                stats = dataclasses.replace(self._stats)
             explorers = list(self._explorers.values())
         for explorer in explorers:
             self._fold_explorer(stats, explorer)

@@ -289,6 +289,17 @@ class ArtifactStore:
 
     # ------------------------------------------------------------------ #
 
+    def counters(self) -> Dict[str, int]:
+        """Atomic snapshot of the runtime counters.
+
+        Reading the attributes one by one from another thread can tear
+        (a ``get`` between two reads skews hit/miss ratios); service
+        ``stats()`` and tests read through this instead.
+        """
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses,
+                    "writes": self.writes, "corrupt": self.corrupt}
+
     def _count(self, counter: str) -> None:
         with self._lock:
             setattr(self, counter, getattr(self, counter) + 1)

@@ -58,6 +58,24 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.dse.explorer import ConeCharacterization
 
 
+def shared_table_stats() -> Dict[str, Optional[int]]:
+    """Counters of the process-wide :class:`ArchitectureTable` cache.
+
+    The enumerated candidate table is keyed by shape knobs only and shared
+    by every device/format/frame scenario over the same space (see
+    :func:`repro.architecture.enumeration.space_table`); these counters
+    make that reuse observable — the service tier reports them under
+    ``stats()["shared_table"]``, where ``hits`` growing while ``entries``
+    stays flat is the signature of a burst re-costing one cached table
+    instead of re-enumerating per job.
+    """
+    from repro.architecture.enumeration import _space_table_cached
+
+    info = _space_table_cached.cache_info()
+    return {"hits": info.hits, "misses": info.misses,
+            "entries": info.currsize, "capacity": info.maxsize}
+
+
 def supports_columnar(throughput_model: object) -> bool:
     """Whether the engine may drive ``throughput_model`` through its batch API.
 

@@ -1,0 +1,87 @@
+"""The long-lived exploration service.
+
+``repro.service`` turns the batch API into a daemon: a
+:class:`ReproServer` owns one shared :class:`~repro.api.session.Session`
+(and therefore one characterization cache, one persistent
+:class:`~repro.api.store.ArtifactStore` binding, and one columnar
+architecture-table cache) and serves exploration *jobs* submitted by many
+concurrent clients.  Three properties distinguish it from N short-lived
+sessions:
+
+* **request coalescing** — identical in-flight workloads share one
+  computation: the :class:`JobQueue` keys queued *and* running jobs by the
+  full workload identity (characterization key + kernel fingerprint +
+  per-run knobs), so sixteen concurrent submissions of the same workload
+  trigger exactly one exploration and all sixteen receive the same
+  :class:`~repro.api.results.FlowResult` — digest-identical to a direct
+  ``Session.run``;
+* **priority scheduling** — jobs carry a priority class (``interactive`` >
+  ``batch`` > ``background``); the :class:`Scheduler` always drains the
+  highest non-empty class first, so an interactive request never waits
+  behind a background sweep that is still queued;
+* **batched columnar dispatch** — the scheduler drains *compatible* queued
+  jobs (same priority class) into one :meth:`Session.run_many` call, so a
+  burst of multi-device/multi-format requests is re-costed against one
+  cached :class:`~repro.architecture.enumeration.ArchitectureTable`
+  instead of running serially, with the batch executor pluggable through
+  the ``executor`` backend registry kind.
+
+The server speaks two transports with one protocol: in-process method
+calls, and a minimal stdlib-only JSON endpoint over :mod:`http.server`
+(``submit`` / ``status`` / ``result`` / ``stats`` / ``healthz``), with
+:class:`ReproClient` wrapping both.  Job lifecycle is streamed through the
+existing progress-callback protocol (:class:`~repro.api.session
+.SessionEvent` with ``job-*`` kinds) alongside the session's stage events.
+
+Quick start::
+
+    from repro.api import Workload
+    from repro.service import ReproClient, ReproServer
+
+    with ReproServer(store="~/.cache/repro") as server:
+        client = ReproClient(server)            # or ReproClient("http://...")
+        handle = client.submit(Workload.from_algorithm("blur"),
+                               priority="interactive")
+        result = handle.result(timeout=60)
+
+Shell equivalent: ``python -m repro serve --store ~/.cache/repro`` then
+``python -m repro submit blur``.
+"""
+
+from repro.service.jobs import (
+    JOB_STATES,
+    Job,
+    JobCancelledError,
+    JobFailedError,
+    JobTimeoutError,
+    PRIORITY_CLASSES,
+    ServiceClosedError,
+    ServiceError,
+    UnknownJobError,
+    parse_priority,
+    priority_name,
+)
+from repro.service.queue import JobQueue
+from repro.service.scheduler import Scheduler
+from repro.service.server import DEFAULT_PORT, ReproServer
+from repro.service.client import JobHandle, ReproClient
+
+__all__ = [
+    "DEFAULT_PORT",
+    "JOB_STATES",
+    "Job",
+    "JobCancelledError",
+    "JobFailedError",
+    "JobHandle",
+    "JobQueue",
+    "JobTimeoutError",
+    "PRIORITY_CLASSES",
+    "ReproClient",
+    "ReproServer",
+    "Scheduler",
+    "ServiceClosedError",
+    "ServiceError",
+    "UnknownJobError",
+    "parse_priority",
+    "priority_name",
+]

@@ -1,0 +1,201 @@
+"""The service client: one ergonomic surface over both transports.
+
+``ReproClient(server)`` talks to an in-process :class:`~repro.service
+.server.ReproServer` by direct method call; ``ReproClient("http://...")``
+speaks the JSON endpoint with nothing beyond :mod:`urllib`.  Either way
+the verbs are the same — ``submit`` returns a :class:`JobHandle`,
+``handle.result()`` blocks (HTTP waits are chunked into bounded
+server-side polls, so a slow exploration never pins one connection), and
+unsuccessful jobs raise the same :class:`~repro.service.jobs` error
+taxonomy the server raises locally.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Mapping, Optional, Union
+
+from repro.api.results import FlowResult
+from repro.api.workload import Workload
+from repro.service.jobs import (
+    JobCancelledError,
+    JobFailedError,
+    JobTimeoutError,
+    ServiceClosedError,
+    ServiceError,
+    UnknownJobError,
+)
+from repro.service.server import ReproServer
+
+#: Server-side wait per HTTP ``/result`` poll (the client loops until its
+#: own timeout; shorter chunks keep connections short-lived).
+RESULT_POLL_S = 30.0
+
+#: HTTP error payload ``kind`` -> the exception re-raised client-side.
+_ERROR_KINDS = {
+    "UnknownJobError": UnknownJobError,
+    "JobTimeoutError": JobTimeoutError,
+    "JobCancelledError": JobCancelledError,
+    "JobFailedError": JobFailedError,
+    "ServiceClosedError": ServiceClosedError,
+    "ValueError": ValueError,
+}
+
+
+class JobHandle:
+    """A submitted job as seen by one requester."""
+
+    def __init__(self, client: "ReproClient", job_id: str,
+                 coalesced: bool) -> None:
+        self._client = client
+        self.id = job_id
+        #: Whether this submission shared an already-in-flight computation.
+        self.coalesced = coalesced
+
+    def __repr__(self) -> str:
+        return (f"JobHandle({self.id!r}, "
+                f"coalesced={self.coalesced})")
+
+    def status(self) -> Dict[str, Any]:
+        return self._client.status(self.id)
+
+    def result(self, timeout: Optional[float] = None) -> FlowResult:
+        """Wait for this job's :class:`FlowResult` (raises on failure)."""
+        return self._client.result(self.id, timeout=timeout)
+
+    def cancel(self) -> Dict[str, Any]:
+        return self._client.cancel(self.id)
+
+
+class ReproClient:
+    """Submit workloads to a :class:`ReproServer`, local or remote."""
+
+    def __init__(self, target: Union[str, ReproServer],
+                 request_timeout_s: float = 10.0) -> None:
+        if isinstance(target, ReproServer):
+            self._server: Optional[ReproServer] = target
+            self._base_url: Optional[str] = None
+        else:
+            self._server = None
+            self._base_url = target.rstrip("/")
+            if not self._base_url.startswith(("http://", "https://")):
+                raise ValueError(
+                    f"server URL must start with http:// or https:// "
+                    f"(got {target!r})")
+        #: Socket timeout of one HTTP exchange (waiting calls add the
+        #: server-side wait on top).
+        self.request_timeout_s = request_timeout_s
+
+    # ------------------------------------------------------------------ #
+    # verbs
+
+    def submit(self, workload: Union[Workload, Mapping[str, Any]],
+               priority: Union[str, int, None] = None,
+               timeout_s: Optional[float] = None) -> JobHandle:
+        """File a workload for exploration; returns its :class:`JobHandle`."""
+        if self._server is not None:
+            receipt = self._server.submit(workload, priority=priority,
+                                          timeout_s=timeout_s)
+        else:
+            payload = (workload.to_dict() if isinstance(workload, Workload)
+                       else dict(workload))
+            receipt = self._post("/submit", {"workload": payload,
+                                             "priority": priority,
+                                             "timeout_s": timeout_s})
+        return JobHandle(self, receipt["job_id"],
+                         bool(receipt.get("coalesced")))
+
+    def run(self, workload: Union[Workload, Mapping[str, Any]],
+            priority: Union[str, int, None] = None,
+            timeout: Optional[float] = None) -> FlowResult:
+        """``submit`` + ``result`` in one call (the blocking convenience)."""
+        return self.submit(workload, priority=priority,
+                           timeout_s=timeout).result(timeout=timeout)
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        if self._server is not None:
+            return self._server.status(job_id)
+        return self._get(f"/status?id={job_id}")
+
+    def result(self, job_id: str,
+               timeout: Optional[float] = None) -> FlowResult:
+        """Wait for a job and reconstruct its :class:`FlowResult`."""
+        if self._server is not None:
+            return self._server.result(job_id, timeout=timeout)
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            remaining = (None if deadline is None
+                         else deadline - time.monotonic())
+            if remaining is not None and remaining <= 0:
+                raise JobTimeoutError(
+                    f"job {job_id} not finished within the {timeout}s wait")
+            wait_s = (RESULT_POLL_S if remaining is None
+                      else min(RESULT_POLL_S, max(0.1, remaining)))
+            payload = self._get(
+                f"/result?id={job_id}&timeout={wait_s:.3f}",
+                read_timeout=self.request_timeout_s + wait_s)
+            if payload.get("pending"):
+                continue  # the poll window expired; the job is in flight
+            return FlowResult.from_dict(payload["result"])
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        if self._server is not None:
+            return self._server.cancel(job_id)
+        return self._post("/cancel", {"job_id": job_id})
+
+    def stats(self) -> Dict[str, Any]:
+        if self._server is not None:
+            return self._server.stats()
+        return self._get("/stats")
+
+    def healthz(self) -> Dict[str, Any]:
+        if self._server is not None:
+            return self._server.healthz()
+        return self._get("/healthz")
+
+    def shutdown(self, drain: bool = True) -> Dict[str, Any]:
+        """Ask the server to stop (drain by default)."""
+        if self._server is not None:
+            self._server.initiate_shutdown(drain=drain)
+            return {"ok": True, "draining": drain}
+        return self._post("/shutdown", {"drain": drain})
+
+    # ------------------------------------------------------------------ #
+    # HTTP plumbing
+
+    def _get(self, path: str,
+             read_timeout: Optional[float] = None) -> Dict[str, Any]:
+        request = urllib.request.Request(self._base_url + path,
+                                         method="GET")
+        return self._exchange(request, read_timeout)
+
+    def _post(self, path: str,
+              payload: Mapping[str, Any]) -> Dict[str, Any]:
+        body = json.dumps(payload).encode("utf-8")
+        request = urllib.request.Request(
+            self._base_url + path, data=body, method="POST",
+            headers={"Content-Type": "application/json"})
+        return self._exchange(request, None)
+
+    def _exchange(self, request: urllib.request.Request,
+                  read_timeout: Optional[float]) -> Dict[str, Any]:
+        timeout = (self.request_timeout_s if read_timeout is None
+                   else read_timeout)
+        try:
+            with urllib.request.urlopen(request, timeout=timeout) as reply:
+                return json.loads(reply.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            try:
+                payload = json.loads(error.read().decode("utf-8"))
+            except (ValueError, OSError):
+                payload = {}
+            kind = _ERROR_KINDS.get(payload.get("kind"), ServiceError)
+            raise kind(payload.get("error",
+                                   f"HTTP {error.code}")) from None
+        except urllib.error.URLError as error:
+            raise ServiceError(
+                f"cannot reach the repro service at {self._base_url}: "
+                f"{error.reason}") from None

@@ -1,0 +1,358 @@
+"""The coalescing, priority-classed job queue.
+
+Two data structures under one lock:
+
+* a binary heap ordered by ``(priority, sequence)`` — the dispatch order:
+  highest class first, submission order within a class;
+* an *in-flight index* mapping each queued or running job's
+  :class:`~repro.api.workload.Workload` to its :class:`Job` — the
+  coalescing table.  :class:`Workload` equality covers the
+  characterization key, the kernel fingerprint, and every per-run knob
+  (frame geometry, iterations, constraints, backend names), so two
+  submissions coalesce exactly when a direct ``Session.run`` would return
+  the same :class:`~repro.api.results.FlowResult` for both.
+
+A coalesced submission may *promote* its job: submitting an identical
+workload at a higher priority class while the job is still queued re-files
+it under the better class (the heap uses lazy invalidation — stale entries
+are skipped on pop, so promotion is O(log n), not a rebuild).
+
+Per-job deadlines are enforced at the queue: a job whose deadline passes
+while still queued is moved to the ``timeout`` state instead of being
+dispatched, and :meth:`drain_batch` sleeps no longer than the nearest
+queued deadline so expiry does not wait for the next submission.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple, Union
+
+from repro.api.workload import Workload
+from repro.service.jobs import (
+    Job,
+    JobTimeoutError,
+    ServiceClosedError,
+    UnknownJobError,
+    parse_priority,
+)
+
+#: How many terminal jobs are remembered for late ``status``/``result``
+#: calls before the oldest are forgotten (in-flight jobs never expire).
+DEFAULT_HISTORY_LIMIT = 1024
+
+
+class JobQueue:
+    """Thread-safe priority queue with request coalescing (see module doc)."""
+
+    def __init__(self, history_limit: int = DEFAULT_HISTORY_LIMIT) -> None:
+        self._lock = threading.Lock()
+        self._has_work = threading.Condition(self._lock)
+        #: Heap entries: (priority, sequence, job).  Entries whose job is
+        #: no longer queued, or whose priority no longer matches the job's
+        #: (promotion happened), are stale and skipped on pop.
+        self._heap: List[Tuple[int, int, Job]] = []
+        #: Coalescing index: workload -> its queued-or-running job.
+        self._inflight: Dict[Workload, Job] = {}
+        #: Every remembered job by id (bounded terminal history).
+        self._jobs: Dict[str, Job] = {}
+        self._terminal_order: Deque[str] = deque()
+        self._history_limit = history_limit
+        self._sequence = itertools.count(1)
+        self._closed = False
+        # lifetime counters (monotonic; read via stats_snapshot)
+        self._submitted = 0
+        self._coalesced = 0
+        self._cancelled = 0
+        self._timed_out = 0
+        self._completed = 0
+        self._failed = 0
+
+    # ------------------------------------------------------------------ #
+    # submission / coalescing
+
+    def submit(self, workload: Workload,
+               priority: Union[str, int, None] = None,
+               timeout_s: Optional[float] = None) -> Tuple[Job, bool]:
+        """File a workload; returns ``(job, coalesced)``.
+
+        An identical in-flight workload coalesces: the existing job gains
+        a requester (and, if the new submission outranks it while still
+        queued, its better priority class) and is returned with
+        ``coalesced=True``.  ``timeout_s`` is a *dispatch* deadline; a
+        coalesced job waits as long as its most patient requester (one
+        requester's tight timeout must never expire a computation others
+        are still willing to wait for — impatient requesters bound their
+        own ``result(timeout=...)`` instead).
+        """
+        priority = parse_priority(priority)
+        if timeout_s is not None and timeout_s < 0:
+            raise ValueError(f"timeout_s must be >= 0 (got {timeout_s})")
+        deadline = (None if timeout_s is None
+                    else time.monotonic() + timeout_s)
+        with self._has_work:
+            if self._closed:
+                raise ServiceClosedError(
+                    "the service is draining and accepts no new jobs")
+            self._submitted += 1
+            job = self._inflight.get(workload)
+            if job is not None:
+                job.requesters += 1
+                job.coalesced += 1
+                self._coalesced += 1
+                if job.deadline is not None:
+                    # most-patient-requester rule: an unbounded requester
+                    # clears the deadline, a later one only extends it
+                    if deadline is None:
+                        job.deadline = None
+                        job.timeout_s = None
+                    elif deadline > job.deadline:
+                        job.deadline = deadline
+                        job.timeout_s = timeout_s
+                if priority < job.priority and job.state == "queued":
+                    job.priority = priority  # invalidates the old entry
+                    heapq.heappush(self._heap,
+                                   (priority, job.sequence, job))
+                    self._has_work.notify_all()
+                return job, True
+            sequence = next(self._sequence)
+            job = Job(id=f"job-{sequence}", workload=workload,
+                      priority=priority, sequence=sequence,
+                      timeout_s=timeout_s, deadline=deadline)
+            self._jobs[job.id] = job
+            self._inflight[workload] = job
+            heapq.heappush(self._heap, (priority, sequence, job))
+            self._has_work.notify_all()
+            return job, False
+
+    def job(self, job_id: str) -> Job:
+        """The job named ``job_id`` (raises :class:`UnknownJobError`)."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise UnknownJobError(
+                f"unknown job {job_id!r} (completed jobs are remembered "
+                f"for the last {self._history_limit} terminals)")
+        return job
+
+    def cancel(self, job_id: str) -> bool:
+        """Withdraw one requester from a job; returns whether it still ran.
+
+        A queued job whose last requester cancels moves to ``cancelled``
+        and is never dispatched (returns ``False``).  A job with other
+        requesters — or one already running (the exploration cannot be
+        interrupted mid-flight) — keeps going (returns ``True``).
+        """
+        job = self.job(job_id)
+        with self._has_work:
+            if job.done():
+                return job.state not in ("cancelled", "timeout")
+            job.requesters = max(0, job.requesters - 1)
+            if job.requesters > 0 or job.state != "queued":
+                return True
+            self._make_terminal(job, "cancelled")
+            self._cancelled += 1
+            return False
+
+    # ------------------------------------------------------------------ #
+    # dispatch
+
+    def drain_batch(self, max_batch: int,
+                    linger_s: float = 0.0,
+                    wait_timeout: Optional[float] = None
+                    ) -> Optional[List[Job]]:
+        """Pop the next batch of compatible jobs (blocks until available).
+
+        The batch is the highest-priority queued job plus every further
+        queued job *of the same priority class*, in submission order, up
+        to ``max_batch`` — the compatibility rule that keeps priority
+        inversion out while still letting a burst of sibling scenarios
+        ride one ``run_many`` call.  With ``linger_s > 0`` the first job
+        waits that long for same-class company before the batch is sealed
+        (bursts arriving over HTTP rarely land in the same microsecond).
+
+        Every returned job is already in the ``running`` state.  Returns
+        ``None`` when the queue is closed and empty (the scheduler's exit
+        signal); ``wait_timeout`` bounds the idle wait (returns ``[]`` on
+        expiry so callers can run periodic upkeep).
+        """
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1 (got {max_batch})")
+        with self._has_work:
+            started = time.monotonic()
+            while True:
+                self._expire_queued()
+                first = self._pop_ready()
+                if first is not None:
+                    break
+                if self._closed:
+                    return None
+                remaining = (None if wait_timeout is None
+                             else wait_timeout - (time.monotonic() - started))
+                if remaining is not None and remaining <= 0:
+                    return []
+                self._has_work.wait(self._bounded_wait(remaining))
+            if linger_s > 0:
+                # give the burst a moment to finish arriving; coalescing
+                # onto the (already running) first job still works either
+                # way, lingering only widens the batch.  Loop: each
+                # submit() notifies the condition, and returning on the
+                # first wakeup would seal the batch at size two — wait
+                # out the full window (or until it cannot grow further).
+                linger_until = time.monotonic() + linger_s
+                while True:
+                    remaining = linger_until - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    if self._queued_count(first.priority) >= max_batch - 1:
+                        break  # the batch is already full
+                    self._has_work.wait(remaining)
+                self._expire_queued()
+            batch = [first]
+            while len(batch) < max_batch:
+                follower = self._pop_ready(priority=first.priority)
+                if follower is None:
+                    break
+                batch.append(follower)
+            for job in batch:
+                job.batch_size = len(batch)
+            return batch
+
+    def _queued_count(self, priority: int) -> int:
+        """Queued jobs of one priority class (caller holds the lock)."""
+        return sum(1 for job in self._inflight.values()
+                   if job.state == "queued" and job.priority == priority)
+
+    def _pop_ready(self, priority: Optional[int] = None) -> Optional[Job]:
+        """Pop the next dispatchable job (optionally only of one class)."""
+        while self._heap:
+            entry_priority, _sequence, job = self._heap[0]
+            if job.state != "queued" or entry_priority != job.priority:
+                heapq.heappop(self._heap)  # stale (terminal or promoted)
+                continue
+            if priority is not None and entry_priority != priority:
+                return None
+            heapq.heappop(self._heap)
+            job.state = "running"
+            job.started_at = time.time()
+            return job
+        return None
+
+    def _expire_queued(self) -> None:
+        """Time out queued jobs whose deadline has passed (never dispatched)."""
+        now = time.monotonic()
+        for job in list(self._inflight.values()):
+            if (job.state == "queued" and job.deadline is not None
+                    and job.deadline <= now):
+                job.error = JobTimeoutError(
+                    f"job {job.id} spent more than {job.timeout_s}s queued")
+                self._make_terminal(job, "timeout")
+                self._timed_out += 1
+
+    def _bounded_wait(self, timeout: Optional[float]) -> Optional[float]:
+        """Cap an idle wait at the nearest queued deadline."""
+        nearest: Optional[float] = None
+        now = time.monotonic()
+        for job in self._inflight.values():
+            if job.state == "queued" and job.deadline is not None:
+                remaining = max(0.0, job.deadline - now)
+                nearest = (remaining if nearest is None
+                           else min(nearest, remaining))
+        if nearest is None:
+            return timeout
+        return nearest if timeout is None else min(timeout, nearest)
+
+    # ------------------------------------------------------------------ #
+    # completion (called by the scheduler)
+
+    def finish(self, job: Job, result) -> None:
+        """Mark a running job done and deliver its result to every waiter."""
+        with self._has_work:
+            job.result = result
+            self._make_terminal(job, "done")
+            self._completed += 1
+
+    def fail(self, job: Job, error: BaseException) -> None:
+        """Mark a running job failed (the error reaches every requester)."""
+        with self._has_work:
+            job.error = error
+            self._make_terminal(job, "failed")
+            self._failed += 1
+
+    def _make_terminal(self, job: Job, state: str) -> None:
+        job.state = state
+        job.finished_at = time.time()
+        if self._inflight.get(job.workload) is job:
+            del self._inflight[job.workload]
+        self._terminal_order.append(job.id)
+        while len(self._terminal_order) > self._history_limit:
+            forgotten = self._terminal_order.popleft()
+            old = self._jobs.get(forgotten)
+            if old is not None and old.done():
+                del self._jobs[forgotten]
+        job._done.set()
+
+    # ------------------------------------------------------------------ #
+    # shutdown / introspection
+
+    def close(self, cancel_pending: bool = False) -> None:
+        """Refuse new submissions; optionally cancel everything queued.
+
+        With ``cancel_pending`` every still-queued job turns ``cancelled``
+        (their waiters are released immediately); without it the scheduler
+        keeps draining until :meth:`drain_batch` returns ``None``.
+        """
+        with self._has_work:
+            self._closed = True
+            if cancel_pending:
+                for job in list(self._inflight.values()):
+                    if job.state == "queued":
+                        self._make_terminal(job, "cancelled")
+                        self._cancelled += 1
+            self._has_work.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    def pending_count(self) -> int:
+        """Jobs waiting for dispatch."""
+        with self._lock:
+            return sum(1 for job in self._inflight.values()
+                       if job.state == "queued")
+
+    def running_count(self) -> int:
+        with self._lock:
+            return sum(1 for job in self._inflight.values()
+                       if job.state == "running")
+
+    def stats_snapshot(self) -> Dict[str, object]:
+        """Atomic JSON-ready view of the queue counters.
+
+        ``coalesce_hit_rate`` is the fraction of submissions served by an
+        already-in-flight computation — the service's headline dedup
+        figure.
+        """
+        with self._lock:
+            submitted = self._submitted
+            pending = sum(1 for job in self._inflight.values()
+                          if job.state == "queued")
+            running = sum(1 for job in self._inflight.values()
+                          if job.state == "running")
+            return {
+                "submitted": submitted,
+                "coalesced": self._coalesced,
+                "coalesce_hit_rate": (self._coalesced / submitted
+                                      if submitted else 0.0),
+                "completed": self._completed,
+                "failed": self._failed,
+                "cancelled": self._cancelled,
+                "timed_out": self._timed_out,
+                "pending": pending,
+                "running": running,
+            }

@@ -1,0 +1,449 @@
+"""The exploration daemon: one shared session behind a job API.
+
+:class:`ReproServer` wires the service pieces together — a
+:class:`~repro.api.session.Session` (optionally store-backed), a
+coalescing :class:`~repro.service.queue.JobQueue`, and a
+:class:`~repro.service.scheduler.Scheduler` — and exposes one protocol
+over two transports:
+
+* **in-process**: ``submit`` / ``status`` / ``result`` / ``cancel`` /
+  ``stats`` / ``healthz`` as plain methods (every payload JSON-ready, so
+  the two transports cannot drift);
+* **HTTP**: the same operations as a minimal stdlib-only JSON endpoint
+  (:mod:`http.server`, threaded) via :meth:`serve_http` — ``POST
+  /submit``, ``GET /status``, ``GET /result``, ``POST /cancel``, ``GET
+  /stats``, ``GET /healthz``, ``POST /shutdown``.
+
+Job lifecycle (``job-queued`` / ``job-coalesced`` / ``job-started`` /
+``job-finished`` / ``job-failed``) streams through the session's existing
+progress-callback protocol: :meth:`on_event` callbacks receive
+:class:`~repro.api.session.SessionEvent` objects for both the job
+transitions and the underlying pipeline stages.
+
+Shutdown is graceful by default: ``close(drain=True)`` stops accepting
+submissions (HTTP submitters get 503), finishes every queued job, then
+tears the HTTP listener down — so a deploy rollover never drops accepted
+work.  ``drain=False`` cancels the queued backlog instead (the batch
+already executing still completes; pure-Python explorations cannot be
+interrupted mid-flight).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple, Union
+from urllib.parse import parse_qs, urlparse
+
+from repro.api.registry import register_backend
+from repro.api.results import FlowResult
+from repro.api.session import Session, SessionEvent, _defensive_copy
+from repro.api.store import ArtifactStore
+from repro.api.workload import Workload
+from repro.dse.engine import shared_table_stats
+from repro.service.jobs import (
+    JobCancelledError,
+    JobFailedError,
+    JobTimeoutError,
+    ServiceClosedError,
+    UnknownJobError,
+)
+from repro.service.queue import JobQueue
+from repro.service.scheduler import Scheduler
+
+#: Default TCP port of ``python -m repro serve`` (0 = OS-assigned).
+DEFAULT_PORT = 8177
+
+#: Upper bound on one HTTP request body (a serialized workload is a few
+#: kilobytes; anything near this is not a workload).
+MAX_REQUEST_BYTES = 8 * 1024 * 1024
+
+#: Per-request cap on how long ``GET /result`` may block server-side;
+#: clients with larger timeouts poll (see :class:`repro.service.client
+#: .ReproClient`), so slow explorations never pin a connection forever.
+MAX_RESULT_WAIT_S = 300.0
+
+
+class ReproServer:
+    """A long-lived exploration server over one shared session."""
+
+    def __init__(self, session: Optional[Session] = None,
+                 store: Optional[Union[str, os.PathLike,
+                                       ArtifactStore]] = None,
+                 executor: Union[str, object, None] = None,
+                 max_workers: Optional[int] = None,
+                 max_batch: int = 16,
+                 batch_window_s: float = 0.0,
+                 history_limit: int = 1024,
+                 on_event: Optional[Callable[[SessionEvent], None]] = None,
+                 start: bool = True) -> None:
+        if session is not None and store is not None:
+            raise ValueError("pass either a session or a store, not both "
+                             "(a session already owns its store)")
+        self._session = session if session is not None else Session(
+            store=store)
+        if on_event is not None:
+            self._session.on_event(on_event)
+        self._queue = JobQueue(history_limit=history_limit)
+        self._scheduler = Scheduler(self._session, self._queue,
+                                    executor=executor,
+                                    max_workers=max_workers,
+                                    max_batch=max_batch,
+                                    batch_window_s=batch_window_s)
+        self._started_at = time.time()
+        self._httpd: Optional[_ServiceHTTPServer] = None
+        self._http_thread: Optional[threading.Thread] = None
+        self._http_address: Optional[Tuple[str, int]] = None
+        self._shutdown_requested = threading.Event()
+        self._drain_on_shutdown = True
+        self._close_lock = threading.Lock()
+        self._stopped = False
+        if start:
+            self.start()
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+
+    @property
+    def session(self) -> Session:
+        """The shared session (one cache for every client)."""
+        return self._session
+
+    @property
+    def queue(self) -> JobQueue:
+        return self._queue
+
+    @property
+    def scheduler(self) -> Scheduler:
+        return self._scheduler
+
+    def start(self) -> "ReproServer":
+        """Start the dispatcher (idempotent; ``start=False`` construction
+        lets tests pre-load the queue deterministically)."""
+        self._scheduler.start()
+        return self
+
+    def on_event(self, callback: Callable[[SessionEvent], None]) -> None:
+        """Stream job + stage lifecycle events (the session's protocol)."""
+        self._session.on_event(callback)
+
+    def __enter__(self) -> "ReproServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until a shutdown was requested (HTTP ``/shutdown`` or
+        :meth:`initiate_shutdown`); the CLI's foreground loop."""
+        return self._shutdown_requested.wait(timeout)
+
+    def initiate_shutdown(self, drain: bool = True) -> None:
+        """Request an asynchronous shutdown (returns immediately).
+
+        The actual teardown runs on a helper thread, so an HTTP handler
+        can acknowledge the request before the listener goes away.
+        """
+        self._drain_on_shutdown = drain
+        if not self._shutdown_requested.is_set():
+            self._shutdown_requested.set()
+            threading.Thread(target=self.close, kwargs={"drain": drain},
+                             name="repro-service-shutdown",
+                             daemon=True).start()
+
+    def close(self, drain: Optional[bool] = None) -> None:
+        """Stop the service (idempotent, thread-safe).
+
+        ``drain=True`` (default) executes every queued job first; HTTP
+        stays up while draining so pending ``result`` calls are answered,
+        then the listener stops.  ``drain=False`` cancels the backlog.
+        """
+        if drain is None:
+            drain = self._drain_on_shutdown
+        with self._close_lock:
+            if self._stopped:
+                return
+            self._shutdown_requested.set()
+            self._scheduler.stop(drain=drain)
+            if self._httpd is not None:
+                self._httpd.shutdown()
+                self._httpd.server_close()
+                if self._http_thread is not None:
+                    self._http_thread.join(timeout=5.0)
+                self._httpd = None
+                self._http_thread = None
+            self._stopped = True
+
+    def _state(self) -> str:
+        if self._stopped:
+            return "stopped"
+        if self._queue.closed or self._shutdown_requested.is_set():
+            return "draining"
+        return "serving"
+
+    # ------------------------------------------------------------------ #
+    # the job API (shared verbatim by both transports)
+
+    def submit(self, workload: Union[Workload, Mapping[str, Any]],
+               priority: Union[str, int, None] = None,
+               timeout_s: Optional[float] = None) -> Dict[str, Any]:
+        """File a workload; returns the submission receipt.
+
+        The receipt carries ``job_id`` (poll ``status``/``result`` with
+        it) and ``coalesced`` — whether this submission attached to an
+        identical workload already in flight instead of queueing new
+        work.
+        """
+        if not isinstance(workload, Workload):
+            workload = Workload.from_dict(workload)
+        job, coalesced = self._queue.submit(workload, priority=priority,
+                                            timeout_s=timeout_s)
+        self._session._emit_batch_event(
+            "job-coalesced" if coalesced else "job-queued",
+            workload, detail=job.id)
+        receipt = job.snapshot()
+        receipt["coalesced"] = coalesced
+        return receipt
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        """The job's current lifecycle snapshot."""
+        return self._queue.job(job_id).snapshot()
+
+    def result(self, job_id: str,
+               timeout: Optional[float] = None) -> FlowResult:
+        """Wait for a job and return its :class:`FlowResult`.
+
+        Raises :class:`JobFailedError` / :class:`JobCancelledError` /
+        :class:`JobTimeoutError` for unsuccessful terminals.  A job whose
+        own ``timeout_s`` deadline passes while *running* raises
+        :class:`JobTimeoutError` to waiters but keeps computing — the
+        result still lands in the session cache for later requests
+        (queued jobs past their deadline are never started at all).
+        """
+        job = self._queue.job(job_id)
+        caller_deadline = (None if timeout is None
+                           else time.monotonic() + timeout)
+        while not job.done():
+            waits = [w for w in (job.deadline_remaining(),
+                                 None if caller_deadline is None
+                                 else caller_deadline - time.monotonic())
+                     if w is not None]
+            if job.wait(None if not waits else max(0.0, min(waits))):
+                break
+            job_remaining = job.deadline_remaining()
+            if job_remaining is not None and job_remaining <= 0:
+                raise JobTimeoutError(
+                    f"job {job.id} exceeded its {job.timeout_s}s timeout "
+                    f"(state: {job.state}; a running job completes in the "
+                    f"background and warms the cache)")
+            if (caller_deadline is not None
+                    and caller_deadline - time.monotonic() <= 0):
+                error = JobTimeoutError(
+                    f"job {job.id} not finished within the {timeout}s wait "
+                    f"(state: {job.state})")
+                error.terminal = False  # the job itself is still in flight
+                raise error
+        job.raise_if_unsuccessful()
+        # each requester gets an isolated view over the shared heavy
+        # artifacts, exactly like concurrent Session.run callers
+        return _defensive_copy(job.result)
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        """Withdraw one requester (see :meth:`JobQueue.cancel`)."""
+        still_running = self._queue.cancel(job_id)
+        snapshot = self.status(job_id)
+        snapshot["still_running"] = still_running
+        return snapshot
+
+    def stats(self) -> Dict[str, Any]:
+        """One JSON document over every layer's counters."""
+        store = self._session.store
+        return {
+            "state": self._state(),
+            "uptime_s": time.time() - self._started_at,
+            "http_address": (None if self._http_address is None
+                             else "http://{}:{}".format(*self._http_address)),
+            "queue": self._queue.stats_snapshot(),
+            "scheduler": self._scheduler.stats_snapshot(),
+            "session": self._session.stats.to_dict(),
+            "store": (None if store is None
+                      else {"root": store.root, **store.counters()}),
+            "shared_table": shared_table_stats(),
+        }
+
+    def healthz(self) -> Dict[str, Any]:
+        """Liveness/readiness probe payload."""
+        state = self._state()
+        return {
+            "ok": state == "serving",
+            "state": state,
+            "uptime_s": time.time() - self._started_at,
+            "pending_jobs": self._queue.pending_count(),
+            "running_jobs": self._queue.running_count(),
+            "scheduler_alive": self._scheduler.running,
+        }
+
+    # ------------------------------------------------------------------ #
+    # HTTP transport
+
+    def serve_http(self, host: str = "127.0.0.1",
+                   port: int = DEFAULT_PORT) -> Tuple[str, int]:
+        """Start the JSON endpoint on ``host:port`` (0 = ephemeral).
+
+        Returns the bound ``(host, port)``; the listener runs on a
+        daemon thread until :meth:`close`.
+        """
+        if self._httpd is not None:
+            return self._http_address  # already listening
+        httpd = _ServiceHTTPServer((host, port), _ServiceRequestHandler)
+        httpd.service = self
+        self._httpd = httpd
+        self._http_address = (httpd.server_address[0],
+                              httpd.server_address[1])
+        self._http_thread = threading.Thread(
+            target=httpd.serve_forever, name="repro-service-http",
+            daemon=True)
+        self._http_thread.start()
+        return self._http_address
+
+
+class _ServiceHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+    service: ReproServer
+
+
+#: Error class -> HTTP status code of the JSON endpoint.
+_ERROR_STATUS = (
+    (UnknownJobError, 404),
+    (JobTimeoutError, 408),
+    (JobCancelledError, 409),
+    (ServiceClosedError, 503),
+    (JobFailedError, 500),
+    (ValueError, 400),
+    (KeyError, 400),
+)
+
+
+class _ServiceRequestHandler(BaseHTTPRequestHandler):
+    """Routes the job API; every response body is JSON."""
+
+    server: _ServiceHTTPServer
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------ #
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server naming)
+        parsed = urlparse(self.path)
+        query = {key: values[-1]
+                 for key, values in parse_qs(parsed.query).items()}
+        service = self.server.service
+        try:
+            if parsed.path == "/healthz":
+                payload = service.healthz()
+                self._respond(200 if payload["ok"] else 503, payload)
+            elif parsed.path == "/stats":
+                self._respond(200, service.stats())
+            elif parsed.path == "/status":
+                self._respond(200, service.status(self._job_id(query)))
+            elif parsed.path == "/result":
+                wait_s = min(float(query.get("timeout", 30.0)),
+                             MAX_RESULT_WAIT_S)
+                job_id = self._job_id(query)
+                try:
+                    result = service.result(job_id, timeout=wait_s)
+                except JobTimeoutError as error:
+                    if error.terminal:
+                        raise
+                    # only this poll's wait window expired: tell the
+                    # client to keep polling instead of erroring out
+                    self._respond(200, {
+                        "job_id": job_id,
+                        "state": service.status(job_id)["state"],
+                        "pending": True,
+                    })
+                    return
+                self._respond(200, {
+                    "job_id": job_id,
+                    "state": "done",
+                    "result": result.to_dict(),
+                })
+            else:
+                self._respond(404, {"error": f"no route {parsed.path!r}"})
+        except Exception as error:  # mapped to a status code below
+            self._respond_error(error)
+
+    def do_POST(self) -> None:  # noqa: N802
+        parsed = urlparse(self.path)
+        service = self.server.service
+        try:
+            body = self._read_json()
+            if parsed.path == "/submit":
+                receipt = service.submit(
+                    body["workload"],
+                    priority=body.get("priority"),
+                    timeout_s=body.get("timeout_s"))
+                self._respond(200, receipt)
+            elif parsed.path == "/cancel":
+                self._respond(200, service.cancel(body["job_id"]))
+            elif parsed.path == "/shutdown":
+                drain = bool(body.get("drain", True))
+                service.initiate_shutdown(drain=drain)
+                self._respond(200, {"ok": True, "draining": drain})
+            else:
+                self._respond(404, {"error": f"no route {parsed.path!r}"})
+        except Exception as error:
+            self._respond_error(error)
+
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _job_id(query: Mapping[str, str]) -> str:
+        job_id = query.get("id")
+        if not job_id:
+            raise ValueError("missing ?id=<job id> parameter")
+        return job_id
+
+    def _read_json(self) -> Dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_REQUEST_BYTES:
+            raise ValueError(
+                f"request body of {length} bytes exceeds the "
+                f"{MAX_REQUEST_BYTES}-byte limit")
+        if length == 0:
+            return {}
+        payload = json.loads(self.rfile.read(length).decode("utf-8"))
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        return payload
+
+    def _respond(self, status: int, payload: Mapping[str, Any]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _respond_error(self, error: Exception) -> None:
+        status = 500
+        for error_type, code in _ERROR_STATUS:
+            if isinstance(error, error_type):
+                status = code
+                break
+        message = (error.args[0] if isinstance(error, KeyError)
+                   and error.args else str(error))
+        try:
+            self._respond(status, {"error": str(message),
+                                   "kind": type(error).__name__})
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away mid-error; nothing to salvage
+
+    def log_message(self, format: str, *args: Any) -> None:
+        """Silence per-request stderr logging (stats() is the observable)."""
+
+
+register_backend("service", "local", ReproServer)

@@ -1,0 +1,195 @@
+"""Scheduler tests: coalescing determinism, batched dispatch, priorities.
+
+Carries the ISSUE 5 acceptance criteria: 16 concurrent identical
+submissions trigger exactly one exploration with every served result
+digest-identical to a direct ``Session.run``, and a mixed 4-device x
+2-format burst is dispatched as one batched ``run_many`` call instead of
+per-job serial runs.
+"""
+
+import hashlib
+import json
+import threading
+
+import pytest
+
+from repro.api import Session, Workload
+from repro.api.registry import list_devices
+from repro.ir.operators import DataFormat
+from repro.service import JobFailedError, ReproClient, ReproServer
+
+SMALL = dict(iterations=4, window_sides=(1, 2, 3), max_depth=2,
+             max_cones_per_depth=3, frame_width=320, frame_height=240)
+
+
+def workload(name="blur", **overrides):
+    return Workload.from_algorithm(name, **{**SMALL, **overrides})
+
+
+def digest(result):
+    return hashlib.sha256(json.dumps(result.to_dict(),
+                                     sort_keys=True).encode()).hexdigest()
+
+
+@pytest.fixture()
+def paused_server():
+    """A server whose dispatcher has not started: submissions pile up
+    deterministically, then ``start()`` releases the burst at once."""
+    server = ReproServer(start=False)
+    yield server
+    server.close(drain=False)
+
+
+class TestCoalescingDeterminism:
+    def test_16_identical_submissions_one_exploration(self, paused_server):
+        """ISSUE 5 acceptance: N identical in-flight submits share one
+        computation and every served result is digest-identical to a
+        direct ``Session.run``."""
+        reference = Session().run(workload())
+        reference_digest = digest(reference)
+        expected_runs = Session()
+        expected_runs.run(workload())
+        single_run_synthesis = expected_runs.stats.synthesis_runs
+
+        client = ReproClient(paused_server)
+        handles = []
+        lock = threading.Lock()
+        barrier = threading.Barrier(16)
+
+        def submit():
+            barrier.wait()
+            handle = client.submit(workload(), priority="interactive")
+            with lock:
+                handles.append(handle)
+
+        threads = [threading.Thread(target=submit) for _ in range(16)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        # all 16 landed before dispatch: exactly one queued computation
+        assert sum(handle.coalesced for handle in handles) == 15
+        queue_stats = paused_server.queue.stats_snapshot()
+        assert queue_stats["submitted"] == 16
+        assert queue_stats["coalesced"] == 15
+        assert queue_stats["coalesce_hit_rate"] == pytest.approx(15 / 16)
+        assert queue_stats["pending"] == 1
+
+        paused_server.start()
+        results = [handle.result(timeout=60) for handle in handles]
+        assert all(digest(result) == reference_digest
+                   for result in results)
+        # one exploration: the shared session synthesized exactly as much
+        # as a single direct run, and ran exactly one workload
+        stats = paused_server.session.stats
+        assert stats.synthesis_runs == single_run_synthesis
+        assert stats.workloads_run == 1
+
+    def test_duplicate_job_ids_share_identity(self, paused_server):
+        client = ReproClient(paused_server)
+        first = client.submit(workload())
+        second = client.submit(workload())
+        assert first.id == second.id
+        assert not first.coalesced and second.coalesced
+
+
+class TestBatchedDispatch:
+    def test_mixed_device_format_burst_is_batched(self, paused_server):
+        """ISSUE 5 acceptance: a 4-device x 2-format burst rides >= 1
+        batched ``run_many`` dispatch, and the served results are
+        byte-identical to a direct ``Session.run_many``."""
+        devices = sorted(list_devices())[:4]
+        assert len(devices) == 4
+        burst = [workload(device=device, data_format=data_format)
+                 for device in devices
+                 for data_format in (DataFormat.FIXED16,
+                                     DataFormat.FIXED32)]
+        reference = Session().run_many(burst)
+        reference_digests = [digest(result) for result in reference]
+
+        client = ReproClient(paused_server)
+        handles = [client.submit(each) for each in burst]
+        paused_server.start()
+        results = [handle.result(timeout=120) for handle in handles]
+        assert [digest(result) for result in results] == reference_digests
+
+        scheduler_stats = paused_server.scheduler.stats_snapshot()
+        # one dispatch took the whole burst through run_many, not 8
+        # serial single-job dispatches
+        assert scheduler_stats["batched_dispatches"] >= 1
+        assert scheduler_stats["largest_batch"] == len(burst)
+        assert scheduler_stats["batches"] == 1
+        assert scheduler_stats["recent_batch_sizes"] == [len(burst)]
+
+    def test_singleton_dispatches_still_complete(self):
+        server = ReproServer()
+        try:
+            client = ReproClient(server)
+            result = client.run(workload(), timeout=60)
+            assert result.design_points
+            assert server.scheduler.stats_snapshot()["jobs_completed"] == 1
+        finally:
+            server.close()
+
+
+class TestPriorityScheduling:
+    def test_mixed_priority_burst_completes_in_priority_order(
+            self, paused_server):
+        finished = []
+        paused_server.on_event(
+            lambda event: finished.append(event.workload.frame_width)
+            if event.kind == "job-finished" else None)
+        client = ReproClient(paused_server)
+        by_priority = {
+            "background": [workload(frame_width=310 + i) for i in range(2)],
+            "batch": [workload(frame_width=320 + i) for i in range(2)],
+            "interactive": [workload(frame_width=330 + i)
+                            for i in range(2)],
+        }
+        handles = {}
+        for priority, workloads in by_priority.items():
+            for each in workloads:
+                handles[each.frame_width] = client.submit(each,
+                                                          priority=priority)
+        paused_server.start()
+        for handle in handles.values():
+            handle.result(timeout=120)
+        expected = ([w.frame_width for w in by_priority["interactive"]]
+                    + [w.frame_width for w in by_priority["batch"]]
+                    + [w.frame_width for w in by_priority["background"]])
+        assert finished == expected
+
+
+class TestFailureAttribution:
+    def test_poisoned_batch_member_fails_alone(self, paused_server):
+        client = ReproClient(paused_server)
+        good = client.submit(workload(frame_width=352))
+        # an unknown backend name resolves (and fails) only inside run():
+        # the job must fail individually without poisoning its batch
+        bad = client.submit(workload(frame_width=368,
+                                     synthesizer="no-such-backend"))
+        also_good = client.submit(workload(frame_width=384))
+        paused_server.start()
+        assert good.result(timeout=60).design_points
+        assert also_good.result(timeout=60).design_points
+        with pytest.raises(JobFailedError, match="no-such-backend"):
+            bad.result(timeout=60)
+        assert bad.status()["state"] == "failed"
+        stats = paused_server.scheduler.stats_snapshot()
+        assert stats["jobs_failed"] == 1
+        assert stats["jobs_completed"] == 2
+
+    def test_failing_singleton_is_not_replayed(self):
+        """A batch of one failing job must fail directly — not pay the
+        broken pipeline a second time in the attribution replay."""
+        server = ReproServer()
+        try:
+            client = ReproClient(server)
+            handle = client.submit(workload(synthesizer="no-such-backend"))
+            with pytest.raises(JobFailedError, match="no-such-backend"):
+                handle.result(timeout=60)
+            # one failed run, not two (a replay would double the counter)
+            assert server.session.stats.workloads_failed == 1
+        finally:
+            server.close(drain=False)

@@ -1,0 +1,263 @@
+"""Server/transport tests: HTTP endpoint, client parity, lifecycle events,
+timeouts/cancellation, graceful shutdown, registry integration, CLI submit."""
+
+import hashlib
+import json
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.api import Session, Workload
+from repro.api.cli import main as cli_main
+from repro.api.registry import create_backend, list_backends
+from repro.service import (
+    JobCancelledError,
+    JobTimeoutError,
+    ReproClient,
+    ReproServer,
+    ServiceClosedError,
+    ServiceError,
+    UnknownJobError,
+)
+
+SMALL = dict(iterations=4, window_sides=(1, 2, 3), max_depth=2,
+             max_cones_per_depth=3, frame_width=320, frame_height=240)
+
+
+def workload(name="blur", **overrides):
+    return Workload.from_algorithm(name, **{**SMALL, **overrides})
+
+
+def digest(result):
+    return hashlib.sha256(json.dumps(result.to_dict(),
+                                     sort_keys=True).encode()).hexdigest()
+
+
+@pytest.fixture()
+def http_server():
+    server = ReproServer()
+    host, port = server.serve_http("127.0.0.1", 0)
+    yield server, f"http://{host}:{port}"
+    server.close(drain=False)
+
+
+class TestHttpTransport:
+    def test_submit_result_round_trip_digest_identical(self, http_server):
+        _server, url = http_server
+        reference_digest = digest(Session().run(workload()))
+        client = ReproClient(url)
+        handle = client.submit(workload(), priority="interactive")
+        result = handle.result(timeout=60)
+        assert digest(result) == reference_digest
+        assert handle.status()["state"] == "done"
+
+    def test_http_coalescing_visible_in_receipts(self, http_server):
+        server, url = http_server
+        client = ReproClient(url)
+        # hold the dispatcher off with a queued long-priority job? no:
+        # submit twice back-to-back; the second either coalesces (still
+        # in flight) or is served from the session cache — both must
+        # yield identical digests and the same job semantics
+        first = client.submit(workload())
+        second = client.submit(workload())
+        assert digest(first.result(timeout=60)) == digest(
+            second.result(timeout=60))
+        assert server.queue.stats_snapshot()["submitted"] == 2
+
+    def test_healthz_stats_and_routes(self, http_server):
+        _server, url = http_server
+        client = ReproClient(url)
+        health = client.healthz()
+        assert health["ok"] and health["state"] == "serving"
+        stats = client.stats()
+        for key in ("state", "queue", "scheduler", "session", "store",
+                    "shared_table", "uptime_s"):
+            assert key in stats
+        assert stats["store"] is None  # storeless server
+        assert stats["shared_table"]["capacity"] >= 1
+
+    def test_unknown_job_and_unknown_route(self, http_server):
+        _server, url = http_server
+        client = ReproClient(url)
+        with pytest.raises(UnknownJobError):
+            client.status("job-404")
+        request = urllib.request.Request(url + "/no-such-route")
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=5)
+        assert excinfo.value.code == 404
+
+    def test_malformed_submit_is_a_400(self, http_server):
+        _server, url = http_server
+        request = urllib.request.Request(
+            url + "/submit", data=b'{"workload": {"bogus": 1}}',
+            method="POST", headers={"Content-Type": "application/json"})
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=5)
+        assert excinfo.value.code == 400
+
+    def test_bad_url_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            ReproClient("ftp://example.org")
+
+
+class TestLifecycleEvents:
+    def test_job_events_stream_through_session_protocol(self):
+        events = []
+        server = ReproServer(start=False,
+                             on_event=lambda event: events.append(event))
+        try:
+            client = ReproClient(server)
+            handle = client.submit(workload())
+            client.submit(workload())  # coalesces
+            server.start()
+            handle.result(timeout=60)
+            kinds = [event.kind for event in events]
+            assert "job-queued" in kinds
+            assert "job-coalesced" in kinds
+            assert "job-started" in kinds
+            assert "job-finished" in kinds
+            # the session's own stage events ride the same callback
+            assert "stage-finished" in kinds
+            queued = next(e for e in events if e.kind == "job-queued")
+            assert queued.detail == handle.id
+        finally:
+            server.close(drain=False)
+
+
+class TestTimeoutsAndCancellation:
+    def test_queued_job_times_out_before_dispatch(self):
+        server = ReproServer(start=False)
+        try:
+            client = ReproClient(server)
+            handle = client.submit(workload(), timeout_s=0.0)
+            time.sleep(0.02)
+            server.start()
+            with pytest.raises(JobTimeoutError):
+                handle.result(timeout=10)
+            assert handle.status()["state"] == "timeout"
+        finally:
+            server.close(drain=False)
+
+    def test_result_wait_timeout_is_not_terminal(self):
+        server = ReproServer(start=False)  # nothing will run
+        try:
+            client = ReproClient(server)
+            handle = client.submit(workload())
+            with pytest.raises(JobTimeoutError) as excinfo:
+                handle.result(timeout=0.05)
+            assert not getattr(excinfo.value, "terminal", True)
+            assert handle.status()["state"] == "queued"
+        finally:
+            server.close(drain=False)
+
+    def test_cancel_releases_queued_job(self):
+        server = ReproServer(start=False)
+        try:
+            client = ReproClient(server)
+            handle = client.submit(workload())
+            receipt = handle.cancel()
+            assert receipt["state"] == "cancelled"
+            assert receipt["still_running"] is False
+            with pytest.raises(JobCancelledError):
+                handle.result(timeout=5)
+        finally:
+            server.close(drain=False)
+
+    def test_cancel_over_http(self, http_server):
+        server, url = http_server
+        # park the dispatcher behind a slow-ish job so the target stays
+        # queued long enough to cancel deterministically: simpler — stop
+        # accepting by cancelling right after submitting on a paused
+        # scheduler is not possible here (fixture starts it), so accept
+        # either a queued-cancel or a lost race with completion
+        client = ReproClient(url)
+        handle = client.submit(workload(frame_width=272))
+        receipt = client.cancel(handle.id)
+        assert receipt["state"] in ("cancelled", "running", "done")
+
+
+class TestGracefulShutdown:
+    def test_drain_completes_queued_work(self):
+        server = ReproServer(start=False)
+        client = ReproClient(server)
+        handles = [client.submit(workload(frame_width=256 + 16 * i))
+                   for i in range(3)]
+        server.start()
+        server.close(drain=True)
+        for handle in handles:
+            assert handle.result(timeout=5).design_points
+        assert server.healthz()["state"] == "stopped"
+
+    def test_submissions_rejected_while_draining(self):
+        server = ReproServer()
+        server.close(drain=True)
+        with pytest.raises(ServiceClosedError):
+            server.submit(workload())
+
+    def test_http_shutdown_drains_and_stops_listener(self, http_server):
+        server, url = http_server
+        client = ReproClient(url)
+        handle = client.submit(workload())
+        assert client.shutdown(drain=True)["ok"]
+        # the in-flight job still completes during the drain
+        assert server.queue.job(handle.id).wait(30)
+        server.close()
+        with pytest.raises(ServiceError):
+            ReproClient(url).healthz()
+
+    def test_context_manager_closes(self):
+        with ReproServer() as server:
+            assert ReproClient(server).healthz()["ok"]
+        assert server.healthz()["state"] == "stopped"
+
+
+class TestRegistryIntegration:
+    def test_service_kind_lists_local_backend(self):
+        assert "local" in list_backends("service")["service"]
+
+    def test_create_backend_builds_a_server(self):
+        server = create_backend("service", "local", start=False,
+                                max_batch=4)
+        try:
+            assert isinstance(server, ReproServer)
+            assert server.scheduler.stats_snapshot()["max_batch"] == 4
+        finally:
+            server.close(drain=False)
+
+    def test_session_and_store_are_mutually_exclusive(self):
+        with pytest.raises(ValueError):
+            ReproServer(session=Session(), store="/tmp/somewhere",
+                        start=False)
+
+
+class TestCliSubmit:
+    def test_cli_submit_against_live_server(self, http_server, capsys):
+        _server, url = http_server
+        status = cli_main([
+            "submit", "blur", "--server", url, "--frame", "320x240",
+            "--iterations", "4", "--windows", "1,2,3", "--max-depth", "2",
+            "--max-cones", "3", "--priority", "interactive", "--json",
+        ])
+        assert status == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["exploration"]["design_points"]
+
+    def test_cli_submit_no_wait_prints_job_id(self, http_server, capsys):
+        _server, url = http_server
+        status = cli_main([
+            "submit", "blur", "--server", url, "--frame", "320x240",
+            "--iterations", "4", "--windows", "1,2,3", "--max-depth", "2",
+            "--max-cones", "3", "--no-wait",
+        ])
+        assert status == 0
+        assert capsys.readouterr().out.strip().startswith("job-")
+
+    def test_cli_submit_unreachable_server_fails_cleanly(self, capsys):
+        status = cli_main([
+            "submit", "blur", "--server", "http://127.0.0.1:9",
+            "--frame", "320x240", "--iterations", "4",
+        ])
+        assert status == 1
+        assert "cannot reach" in capsys.readouterr().err
