@@ -26,7 +26,14 @@ This is the 60-second tour of the public API (:mod:`repro.api`):
    HTTP job API over one shared session; ``ReproClient.submit(...)`` (or
    ``python -m repro submit blur``) files jobs that coalesce with
    identical in-flight requests, schedule by priority class, and ride
-   batched ``run_many`` dispatches.
+   batched ``run_many`` dispatches;
+9. scale the service tier out to a fleet (:mod:`repro.fleet`): a
+   ``FleetRouter`` fronts N workers and routes each submission by a
+   consistent hash of its characterization key, so identical workloads
+   always land on the same worker (coalescing keeps working fleet-wide)
+   and a shared artifact store makes anything synthesized on one worker a
+   disk hit on every other.  ``python -m repro fleet --workers 4`` from
+   the shell; ``python -m repro submit blur --fleet URL`` to use it.
 
 Run with::
 
@@ -208,6 +215,30 @@ def main() -> None:
               f"identical frontiers: {len(pareto_sizes) == 1}")
     finally:
         server.close()
+    print()
+
+    # 9. fleet mode: the same job API fronting several workers at once.
+    #    The router hashes each workload's characterization key onto a
+    #    consistent-hash ring, so placement is deterministic, duplicates
+    #    still coalesce (same key -> same worker), and the shared store
+    #    turns the whole fleet into one cache: the session-5 store above
+    #    already holds this workload, so a fresh 3-worker fleet serves it
+    #    with zero synthesis.  (see examples/fleet_demo.py for failover,
+    #    load shedding, and admission control)
+    from repro.fleet import FleetRouter
+
+    with tempfile.TemporaryDirectory() as store_dir:
+        Session(store=store_dir).run(workload)           # warm the store
+        with FleetRouter.local(3, store=store_dir) as fleet:
+            client = ReproClient(fleet)
+            client.submit(workload).result(timeout=60)
+            stats = fleet.stats()
+            routed_to = [name for name, entry in stats["workers"].items()
+                         if entry["jobs_routed"]]
+            print(f"fleet mode: routed to {routed_to[0]} of "
+                  f"{len(stats['workers'])} workers, aggregate "
+                  f"synthesis_runs={stats['aggregate']['synthesis_runs']} "
+                  f"(served from the fleet-shared store)")
 
 
 if __name__ == "__main__":

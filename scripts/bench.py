@@ -43,6 +43,11 @@ each) through the in-process exploration service
 (:mod:`repro.service`), recording jobs/s, the coalesce hit-rate, and the
 ``run_many`` batch sizes the scheduler dispatched.
 
+And a ``fleet_throughput`` section (skip with ``--skip-fleet``): the same
+burst through a 3-worker consistent-hash fleet (:mod:`repro.fleet`) with
+deliberately tight per-worker queues, recording jobs/s, the shed count,
+and the placement distribution the hash ring produced.
+
 Each module entry aggregates the wall time and synthesis-run count of the
 workload(s) it draws on; workload wall times are per-workload session
 latencies, so under a threaded batch their sum can exceed the batch wall
@@ -343,6 +348,70 @@ def run_service_throughput() -> dict:
     }
 
 
+def run_fleet_throughput() -> dict:
+    """Drive the service burst through a consistent-hash routed fleet.
+
+    The same 16-job burst as ``service_throughput`` lands on a 3-worker
+    :class:`repro.fleet.FleetRouter` with deliberately tight per-worker
+    queues (``max_pending=2``) from 16 concurrent submitters using the
+    retrying client, so any shed 503 is absorbed by backoff and every
+    job still completes.  Records jobs/s, the shed count, and the
+    placement distribution the hash ring produced across the workers.
+    """
+    import threading
+
+    from repro.fleet import FleetRouter
+    from repro.service import ReproClient
+
+    burst = _service_burst()
+    router = FleetRouter.local(3, max_pending=2)
+    client = ReproClient(router, retries=8, backoff_base_s=0.05,
+                         backoff_cap_s=0.5, retry_jitter_seed=13)
+    handles = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(len(burst))
+
+    def submit(workload):
+        barrier.wait()
+        handle = client.submit(workload, priority="batch")
+        with lock:
+            handles.append(handle)
+
+    threads = [threading.Thread(target=submit, args=(workload,))
+               for workload in burst]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    for handle in handles:
+        handle.result(timeout=600)
+    wall_s = time.perf_counter() - started
+    stats = router.stats()
+    router.close()
+
+    placement = {name: entry["jobs_routed"]
+                 for name, entry in stats["workers"].items()}
+    jobs_per_s = len(burst) / wall_s if wall_s > 0 else None
+    print(f"    {len(burst)} jobs in {wall_s:.2f}s "
+          f"({jobs_per_s:.1f} jobs/s), shed "
+          f"{stats['router']['shed']}, placement {placement}")
+    return {
+        "workers": len(placement),
+        "jobs": len(burst),
+        "unique_workloads": len(set(burst)),
+        "wall_s": wall_s,
+        "jobs_per_s": jobs_per_s,
+        "routed": stats["router"]["routed"],
+        "shed": stats["router"]["shed"],
+        "failovers": stats["router"]["failovers"],
+        "replays": stats["router"]["replays"],
+        "placement": placement,
+        "coalesce_hits": stats["aggregate"]["coalesced"],
+        "session_synthesis_runs": stats["aggregate"]["synthesis_runs"],
+    }
+
+
 def module_summary(modules, per_workload) -> dict:
     """Map each bench module to its workloads plus their aggregate cost."""
     summary = {}
@@ -404,6 +473,9 @@ def main(argv=None) -> int:
                         help="skip the exploration-service throughput "
                              "burst (jobs/s, coalesce hit-rate, batch "
                              "sizes)")
+    parser.add_argument("--skip-fleet", action="store_true",
+                        help="skip the fleet throughput burst (jobs/s, "
+                             "shed count, placement distribution)")
     args = parser.parse_args(argv)
 
     modules = discover_bench_modules()
@@ -472,6 +544,11 @@ def main(argv=None) -> int:
         print("running the service throughput burst "
               "(16 jobs, 4 unique scenarios, concurrent submitters)...")
         snapshot["service_throughput"] = run_service_throughput()
+
+    if not args.skip_fleet:
+        print("running the fleet throughput burst "
+              "(16 jobs through a 3-worker consistent-hash fleet)...")
+        snapshot["fleet_throughput"] = run_fleet_throughput()
 
     if args.pytest:
         print("running the pytest benchmark suite...")

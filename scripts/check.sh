@@ -12,6 +12,11 @@
 #                               # serve` on an ephemeral port, submit two
 #                               # workloads over HTTP, assert digests match
 #                               # direct Session.run, clean shutdown
+#   scripts/check.sh --fleet    # fleet smoke: boot a router + 2 worker
+#                               # subprocesses sharing one store, route
+#                               # over HTTP, assert digests match direct
+#                               # Session.run and the whole fleet drains
+#                               # cleanly
 #   scripts/check.sh -k store   # extra args are passed through to pytest
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -67,6 +72,13 @@ case "${1:-}" in
     python -m compileall -q src
     PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
         python scripts/service_smoke.py "$@"
+    exit $?
+    ;;
+--fleet)
+    shift
+    python -m compileall -q src
+    PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+        python scripts/fleet_smoke.py "$@"
     exit $?
     ;;
 --par)

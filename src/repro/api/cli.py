@@ -30,10 +30,19 @@ Subcommands
     in-flight requests and dispatches compatible bursts as batched
     ``run_many`` calls.  ``--store`` gives the daemon a persistent cache;
     ``--port 0`` binds an ephemeral port (printed on startup).
+``fleet``
+    Run the worker-fleet tier (:mod:`repro.fleet`): a consistent-hash
+    router fronting N exploration workers behind the same job API.
+    ``--workers N`` spawns N in-process workers sharing one ``--store``
+    (the warm-through-store cache tier); ``--worker URL`` (repeatable)
+    attaches to already-running ``serve`` processes instead.
 ``submit``
-    Send one workload to a running service (``--server URL``), wait for
-    the result, and print it like ``explore`` — or ``--no-wait`` to just
-    queue it and print the job id.
+    Send one workload to a running service (``--server URL``) or fleet
+    router (``--fleet URL``), wait for the result, and print it like
+    ``explore`` — or ``--no-wait`` to just queue it and print the job
+    id.  Shed submissions (``503 + Retry-After``) are retried with
+    capped backoff (``--retries``); ``--role`` names the requester's
+    role for fleet admission control.
 
 ``explore``, ``codegen``, and ``sweep`` accept ``--store [DIR]`` to persist
 characterizations and results across invocations (default directory:
@@ -202,7 +211,64 @@ def build_parser() -> argparse.ArgumentParser:
                             f"{default_store_path()})")
     serve.add_argument("--quiet", action="store_true",
                        help="suppress job/stage events on stderr")
+    serve.add_argument("--max-pending", type=int, default=None, metavar="N",
+                       help="bound the job queue at N pending jobs; a "
+                            "saturated server sheds submissions with "
+                            "503 + Retry-After (default: unbounded)")
+    serve.add_argument("--worker-id", default=None, metavar="NAME",
+                       help="stable worker identity reported to fleet "
+                            "routers (default: worker-<pid>)")
+    serve.add_argument("--announce", default=None, metavar="ROUTER_URL",
+                       help="register this worker with a running fleet "
+                            "router after binding")
     serve.set_defaults(handler=cmd_serve)
+
+    fleet = commands.add_parser(
+        "fleet", help="run a consistent-hash routed worker fleet")
+    fleet.add_argument("--workers", type=int, default=2, metavar="N",
+                       help="in-process workers to spawn (default: 2); "
+                            "ignored when --worker URLs are given")
+    fleet.add_argument("--worker", action="append", default=None,
+                       metavar="[NAME=]URL",
+                       help="attach to a running worker at URL instead of "
+                            "spawning (repeatable; workers keep their own "
+                            "lifecycle).  NAME fixes the worker's ring "
+                            "identity — and therefore placement — across "
+                            "router restarts (default: the URL)")
+    fleet.add_argument("--host", default="127.0.0.1",
+                       help="interface to bind (default: 127.0.0.1)")
+    fleet.add_argument("--port", type=int, default=None,
+                       help="TCP port (default: 8177; 0 binds an "
+                            "ephemeral port, printed on startup)")
+    fleet.add_argument("--replicas", type=int, default=None, metavar="N",
+                       help="virtual nodes per worker on the hash ring "
+                            "(default: 64)")
+    fleet.add_argument("--max-pending", type=int, default=None, metavar="N",
+                       help="per-worker queue bound for spawned workers "
+                            "(default: unbounded)")
+    fleet.add_argument("--default-role", default="operator", metavar="ROLE",
+                       help="admission role of submissions that name none "
+                            "(default: operator; use guest for "
+                            "multi-tenant fleets)")
+    fleet.add_argument("--healthcheck-interval", type=float, default=1.0,
+                       metavar="S",
+                       help="seconds between worker healthchecks "
+                            "(default: 1.0)")
+    fleet.add_argument("--max-batch", type=int, default=16,
+                       help="largest run_many batch per worker dispatch "
+                            "(default: 16)")
+    fleet.add_argument("--batch-window", type=float, default=0.05,
+                       metavar="S",
+                       help="per-worker batch linger window "
+                            "(default: 0.05)")
+    _add_executor_arguments(fleet)
+    fleet.add_argument("--store", metavar="DIR", nargs="?",
+                       const=default_store_path(), default=None,
+                       help="shared persistent store of the spawned "
+                            "workers — the fleet's warm-through cache "
+                            "tier (default when DIR is omitted: "
+                            f"{default_store_path()})")
+    fleet.set_defaults(handler=cmd_fleet)
 
     submit = commands.add_parser(
         "submit", help="submit one workload to a running service")
@@ -211,9 +277,18 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="URL",
                         help="service endpoint "
                              "(default: http://127.0.0.1:8177)")
+    submit.add_argument("--fleet", default=None, metavar="URL",
+                        help="fleet router endpoint (overrides --server)")
     submit.add_argument("--priority", default="batch",
                         choices=["interactive", "batch", "background"],
                         help="priority class (default: batch)")
+    submit.add_argument("--role", default=None, metavar="ROLE",
+                        help="requester role for fleet admission control "
+                             "(default: the router's default role)")
+    submit.add_argument("--retries", type=int, default=4, metavar="N",
+                        help="shed-retry budget: resubmissions after "
+                             "503 + Retry-After before giving up "
+                             "(default: 4; 0 disables)")
     submit.add_argument("--timeout", type=float, default=None, metavar="S",
                         help="per-job timeout budget in seconds "
                              "(default: unbounded)")
@@ -565,7 +640,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
                             executor=args.executor,
                             max_workers=args.jobs,
                             max_batch=args.max_batch,
-                            batch_window_s=args.batch_window)
+                            batch_window_s=args.batch_window,
+                            max_pending=args.max_pending,
+                            worker_id=args.worker_id)
     port = DEFAULT_PORT if args.port is None else args.port
     host, bound_port = server.serve_http(args.host, port)
     # stdout, flushed: the line tooling (scripts/service_smoke.py) parses
@@ -576,6 +653,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
         print(f"  persistent store: {session.store.root}", file=sys.stderr)
     print(f"  executor={args.executor} max_batch={args.max_batch} "
           f"(POST /shutdown or Ctrl-C drains and stops)", file=sys.stderr)
+    if args.announce:
+        from repro.service.client import ReproClient
+        reply = ReproClient(args.announce).register(
+            {"url": f"http://{host}:{bound_port}", "name": args.worker_id})
+        print(f"  announced to fleet router {args.announce} "
+              f"({reply.get('workers_alive')}/"
+              f"{reply.get('workers_total')} workers alive)",
+              file=sys.stderr)
 
     def _terminate(_signum, _frame):
         raise KeyboardInterrupt
@@ -593,15 +678,77 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fleet(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro.fleet.admission import AdmissionPolicy
+    from repro.fleet.ring import DEFAULT_REPLICAS
+    from repro.fleet.router import FleetRouter
+    from repro.service.server import DEFAULT_PORT
+
+    policy = AdmissionPolicy(default_role=args.default_role)
+    replicas = (DEFAULT_REPLICAS if args.replicas is None
+                else args.replicas)
+    if args.worker:
+        specs = []
+        for item in args.worker:
+            # NAME=URL pins the ring identity; a bare URL names itself
+            head = item.split("://", 1)[0]
+            if "=" in head:
+                name, url = item.split("=", 1)
+                specs.append((name, url))
+            else:
+                specs.append(item)
+        router = FleetRouter(
+            specs, policy=policy, replicas=replicas,
+            healthcheck_interval_s=args.healthcheck_interval,
+            close_workers=False)
+    else:
+        router = FleetRouter.local(
+            args.workers, store=args.store, policy=policy,
+            max_pending=args.max_pending, replicas=replicas,
+            healthcheck_interval_s=args.healthcheck_interval,
+            executor=args.executor, max_workers=args.jobs,
+            max_batch=args.max_batch, batch_window_s=args.batch_window)
+    port = DEFAULT_PORT if args.port is None else args.port
+    host, bound_port = router.serve_http(args.host, port)
+    # stdout, flushed: scripts/fleet_smoke.py parses this line to discover
+    # an ephemeral --port 0 binding
+    print(f"repro fleet listening on http://{host}:{bound_port}",
+          flush=True)
+    counters = router.membership.counters()
+    print(f"  {counters['workers_alive']}/{counters['workers_total']} "
+          f"worker(s) alive, {replicas} ring replicas each, "
+          f"default role {policy.default_role!r} "
+          f"(POST /shutdown or Ctrl-C drains the fleet)", file=sys.stderr)
+    if args.store and not args.worker:
+        print(f"  shared persistent store: {args.store}", file=sys.stderr)
+
+    def _terminate(_signum, _frame):
+        raise KeyboardInterrupt
+
+    try:
+        signal.signal(signal.SIGTERM, _terminate)
+    except ValueError:
+        pass  # not on the main thread (tests drive cmd_fleet directly)
+    try:
+        router.wait()
+    except KeyboardInterrupt:
+        print("interrupt: draining the fleet...", file=sys.stderr)
+    router.close()
+    print("repro fleet stopped", file=sys.stderr)
+    return 0
+
+
 def cmd_submit(args: argparse.Namespace) -> int:
     from repro.service.client import ReproClient
     from repro.service.jobs import ServiceError
 
     workload = workload_from_args(args)
-    client = ReproClient(args.server)
+    client = ReproClient(args.fleet or args.server, retries=args.retries)
     try:
         handle = client.submit(workload, priority=args.priority,
-                               timeout_s=args.timeout)
+                               timeout_s=args.timeout, role=args.role)
         if args.no_wait:
             print(handle.id)
             return 0

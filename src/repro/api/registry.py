@@ -38,7 +38,9 @@ Backends are registered under one of four *kinds*:
     long-lived exploration server exposing the job API (``submit`` /
     ``status`` / ``result`` / ``stats`` / ``healthz``); the built-in
     (``local``, :class:`repro.service.server.ReproServer`) lives in
-    :mod:`repro.service` and backs ``python -m repro serve``.  An
+    :mod:`repro.service` and backs ``python -m repro serve``; ``fleet``
+    (:class:`repro.fleet.router.FleetRouter`) fronts N of those workers
+    behind the same job API and backs ``python -m repro fleet``.  An
     out-of-tree deployment (a gRPC frontend, a queue-backed farm) plugs
     in by registering a factory with the same surface.
 
@@ -247,16 +249,19 @@ def _ensure_executor_builtins() -> None:
 
 
 def _ensure_service_builtins() -> None:
-    """Import :mod:`repro.service.server` so ``service`` built-ins exist.
+    """Import the service tier so ``service`` built-ins exist.
 
     Same lazy self-registration idiom as the executors: the service tier
     lives outside :mod:`repro.api` (it *uses* sessions), so the registry
     must not import it eagerly — only when a ``service`` lookup asks.
+    ``local`` registers from :mod:`repro.service.server`, ``fleet`` from
+    :mod:`repro.fleet.router`.
     """
     with _registry_lock:
-        registered = bool(_backends["service"])
+        registered = len(_backends["service"]) >= 2
     if not registered:
         importlib.import_module("repro.service.server")
+        importlib.import_module("repro.fleet.router")
 
 
 def get_backend(kind: str, name: str) -> Callable[..., Any]:

@@ -50,24 +50,30 @@ Shell equivalent: ``python -m repro serve --store ~/.cache/repro`` then
 
 from repro.service.jobs import (
     JOB_STATES,
+    AdmissionDeniedError,
+    FleetOverloadedError,
     Job,
     JobCancelledError,
     JobFailedError,
     JobTimeoutError,
     PRIORITY_CLASSES,
+    QueueFullError,
     ServiceClosedError,
     ServiceError,
     UnknownJobError,
     parse_priority,
     priority_name,
 )
+from repro.service.metrics import METRICS_CONTENT_TYPE, render_prometheus
 from repro.service.queue import JobQueue
 from repro.service.scheduler import Scheduler
 from repro.service.server import DEFAULT_PORT, ReproServer
 from repro.service.client import JobHandle, ReproClient
 
 __all__ = [
+    "AdmissionDeniedError",
     "DEFAULT_PORT",
+    "FleetOverloadedError",
     "JOB_STATES",
     "Job",
     "JobCancelledError",
@@ -75,7 +81,9 @@ __all__ = [
     "JobHandle",
     "JobQueue",
     "JobTimeoutError",
+    "METRICS_CONTENT_TYPE",
     "PRIORITY_CLASSES",
+    "QueueFullError",
     "ReproClient",
     "ReproServer",
     "Scheduler",
@@ -84,4 +92,5 @@ __all__ = [
     "UnknownJobError",
     "parse_priority",
     "priority_name",
+    "render_prometheus",
 ]

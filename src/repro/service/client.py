@@ -1,38 +1,63 @@
 """The service client: one ergonomic surface over both transports.
 
-``ReproClient(server)`` talks to an in-process :class:`~repro.service
-.server.ReproServer` by direct method call; ``ReproClient("http://...")``
-speaks the JSON endpoint with nothing beyond :mod:`urllib`.  Either way
-the verbs are the same — ``submit`` returns a :class:`JobHandle`,
-``handle.result()`` blocks (HTTP waits are chunked into bounded
-server-side polls, so a slow exploration never pins one connection), and
-unsuccessful jobs raise the same :class:`~repro.service.jobs` error
-taxonomy the server raises locally.
+``ReproClient(server)`` talks to an in-process server — a
+:class:`~repro.service.server.ReproServer` or a
+:class:`~repro.fleet.router.FleetRouter` — by direct method call;
+``ReproClient("http://...")`` speaks the JSON endpoint with nothing
+beyond :mod:`urllib`.  Either way the verbs are the same — ``submit``
+returns a :class:`JobHandle`, ``handle.result()`` blocks (HTTP waits are
+chunked into bounded server-side polls, so a slow exploration never pins
+one connection), and unsuccessful jobs raise the same
+:class:`~repro.service.jobs` error taxonomy the server raises locally.
+
+Production traffic hygiene (both transports):
+
+* **shed-retry with backoff** — a submission shed by a bounded queue
+  (``503 + Retry-After``, :class:`QueueFullError`) is retried with capped
+  exponential backoff and *deterministic, seeded* jitter, honoring the
+  server's ``Retry-After`` hint as the floor of each delay; once the
+  retry budget is spent the client gives up with a typed
+  :class:`FleetOverloadedError` instead of a bare :mod:`urllib` error;
+* **endpoint failover** — ``ReproClient(["http://a", "http://b"])``
+  rotates to the next URL when the current one is unreachable, and stays
+  on the working one (sticky) until it too fails.
 """
 
 from __future__ import annotations
 
 import json
+import random
 import time
 import urllib.error
 import urllib.request
-from typing import Any, Dict, Mapping, Optional, Union
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.api.results import FlowResult
 from repro.api.workload import Workload
 from repro.service.jobs import (
+    AdmissionDeniedError,
+    FleetOverloadedError,
     JobCancelledError,
     JobFailedError,
     JobTimeoutError,
+    QueueFullError,
     ServiceClosedError,
     ServiceError,
     UnknownJobError,
 )
-from repro.service.server import ReproServer
 
 #: Server-side wait per HTTP ``/result`` poll (the client loops until its
 #: own timeout; shorter chunks keep connections short-lived).
 RESULT_POLL_S = 30.0
+
+#: Default shed-retry budget: how many times a shed submission is
+#: resubmitted before :class:`FleetOverloadedError`.
+DEFAULT_RETRIES = 4
+
+#: Exponential backoff of the shed-retry path: ``base * 2**attempt``
+#: seconds, capped, then jittered into ``[0.5, 1.0]`` of itself.
+DEFAULT_BACKOFF_BASE_S = 0.25
+DEFAULT_BACKOFF_CAP_S = 4.0
 
 #: HTTP error payload ``kind`` -> the exception re-raised client-side.
 _ERROR_KINDS = {
@@ -40,8 +65,11 @@ _ERROR_KINDS = {
     "JobTimeoutError": JobTimeoutError,
     "JobCancelledError": JobCancelledError,
     "JobFailedError": JobFailedError,
+    "QueueFullError": QueueFullError,
+    "AdmissionDeniedError": AdmissionDeniedError,
     "ServiceClosedError": ServiceClosedError,
     "ValueError": ValueError,
+    "TypeError": TypeError,
 }
 
 
@@ -71,49 +99,139 @@ class JobHandle:
 
 
 class ReproClient:
-    """Submit workloads to a :class:`ReproServer`, local or remote."""
+    """Submit workloads to a server or fleet router, local or remote.
 
-    def __init__(self, target: Union[str, ReproServer],
-                 request_timeout_s: float = 10.0) -> None:
-        if isinstance(target, ReproServer):
-            self._server: Optional[ReproServer] = target
-            self._base_url: Optional[str] = None
+    ``target`` is an in-process server-like object (anything exposing the
+    job-API verbs: ``ReproServer``, ``FleetRouter``), one ``http://`` URL,
+    or a sequence of URLs (failover order).  ``retries`` /
+    ``backoff_base_s`` / ``backoff_cap_s`` configure the shed-retry
+    policy; ``retry_jitter_seed`` seeds the jitter deterministically (two
+    clients with the same seed back off identically — reproducible tests,
+    and distinct seeds de-synchronize a thundering herd).
+    """
+
+    def __init__(self, target: Union[str, Sequence[str], Any],
+                 request_timeout_s: float = 10.0,
+                 retries: int = DEFAULT_RETRIES,
+                 backoff_base_s: float = DEFAULT_BACKOFF_BASE_S,
+                 backoff_cap_s: float = DEFAULT_BACKOFF_CAP_S,
+                 retry_jitter_seed: int = 0) -> None:
+        self._server: Optional[Any] = None
+        self._base_urls: List[str] = []
+        self._url_index = 0
+        if isinstance(target, str):
+            self._base_urls = [self._check_url(target)]
+        elif (isinstance(target, Sequence)
+              and all(isinstance(item, str) for item in target)):
+            if not target:
+                raise ValueError("target URL list must not be empty")
+            self._base_urls = [self._check_url(url) for url in target]
+        elif hasattr(target, "submit") and hasattr(target, "result"):
+            self._server = target
         else:
-            self._server = None
-            self._base_url = target.rstrip("/")
-            if not self._base_url.startswith(("http://", "https://")):
-                raise ValueError(
-                    f"server URL must start with http:// or https:// "
-                    f"(got {target!r})")
+            raise ValueError(
+                f"target must be a server object, an http(s) URL, or a "
+                f"list of URLs (got {target!r})")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0 (got {retries})")
         #: Socket timeout of one HTTP exchange (waiting calls add the
         #: server-side wait on top).
         self.request_timeout_s = request_timeout_s
+        self.retries = retries
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self._jitter = random.Random(retry_jitter_seed)
+
+    @staticmethod
+    def _check_url(url: str) -> str:
+        url = url.rstrip("/")
+        if not url.startswith(("http://", "https://")):
+            raise ValueError(
+                f"server URL must start with http:// or https:// "
+                f"(got {url!r})")
+        return url
+
+    @property
+    def _base_url(self) -> str:
+        """The currently-preferred endpoint (sticky across failovers)."""
+        return self._base_urls[self._url_index]
 
     # ------------------------------------------------------------------ #
     # verbs
 
     def submit(self, workload: Union[Workload, Mapping[str, Any]],
                priority: Union[str, int, None] = None,
-               timeout_s: Optional[float] = None) -> JobHandle:
-        """File a workload for exploration; returns its :class:`JobHandle`."""
+               timeout_s: Optional[float] = None,
+               role: Optional[str] = None) -> JobHandle:
+        """File a workload for exploration; returns its :class:`JobHandle`.
+
+        A shed submission (bounded queue full; ``503 + Retry-After``) is
+        retried up to ``self.retries`` times with capped exponential
+        backoff and seeded jitter, honoring the server's ``Retry-After``
+        hint as the floor of each delay.  When the budget is spent the
+        last shed surfaces as :class:`FleetOverloadedError`.
+        ``retries=0`` disables the retry layer entirely — the raw
+        :class:`QueueFullError` propagates (how the fleet router's
+        internal clients run: backpressure must reach the *end* client
+        untouched).  ``role`` names the requester's role for fleet
+        admission control (omit it against a plain worker).
+        """
+        attempt = 0
+        while True:
+            try:
+                return self._submit_once(workload, priority, timeout_s,
+                                         role)
+            except QueueFullError as shed:
+                if self.retries == 0:
+                    raise
+                if attempt >= self.retries:
+                    raise FleetOverloadedError(
+                        f"submission shed {attempt + 1} time(s) and the "
+                        f"retry budget ({self.retries}) is spent: {shed}"
+                    ) from shed
+                time.sleep(self._backoff_delay(attempt,
+                                               shed.retry_after_s))
+                attempt += 1
+
+    def _backoff_delay(self, attempt: int,
+                       retry_after_s: Optional[float]) -> float:
+        """Capped exponential backoff, floored by the server's hint,
+        jittered deterministically into ``[0.5, 1.0]`` of itself."""
+        delay = self.backoff_base_s * (2 ** attempt)
+        if retry_after_s is not None:
+            delay = max(delay, retry_after_s)
+        delay = min(delay, self.backoff_cap_s)
+        return delay * (0.5 + 0.5 * self._jitter.random())
+
+    def _submit_once(self, workload: Union[Workload, Mapping[str, Any]],
+                     priority: Union[str, int, None],
+                     timeout_s: Optional[float],
+                     role: Optional[str]) -> JobHandle:
         if self._server is not None:
-            receipt = self._server.submit(workload, priority=priority,
-                                          timeout_s=timeout_s)
+            keywords: Dict[str, Any] = {"priority": priority,
+                                        "timeout_s": timeout_s}
+            if role is not None:
+                keywords["role"] = role
+            receipt = self._server.submit(workload, **keywords)
         else:
             payload = (workload.to_dict() if isinstance(workload, Workload)
                        else dict(workload))
-            receipt = self._post("/submit", {"workload": payload,
-                                             "priority": priority,
-                                             "timeout_s": timeout_s})
+            body: Dict[str, Any] = {"workload": payload,
+                                    "priority": priority,
+                                    "timeout_s": timeout_s}
+            if role is not None:
+                body["role"] = role
+            receipt = self._post("/submit", body)
         return JobHandle(self, receipt["job_id"],
                          bool(receipt.get("coalesced")))
 
     def run(self, workload: Union[Workload, Mapping[str, Any]],
             priority: Union[str, int, None] = None,
-            timeout: Optional[float] = None) -> FlowResult:
+            timeout: Optional[float] = None,
+            role: Optional[str] = None) -> FlowResult:
         """``submit`` + ``result`` in one call (the blocking convenience)."""
-        return self.submit(workload, priority=priority,
-                           timeout_s=timeout).result(timeout=timeout)
+        return self.submit(workload, priority=priority, timeout_s=timeout,
+                           role=role).result(timeout=timeout)
 
     def status(self, job_id: str) -> Dict[str, Any]:
         if self._server is not None:
@@ -130,8 +248,10 @@ class ReproClient:
             remaining = (None if deadline is None
                          else deadline - time.monotonic())
             if remaining is not None and remaining <= 0:
-                raise JobTimeoutError(
+                error = JobTimeoutError(
                     f"job {job_id} not finished within the {timeout}s wait")
+                error.terminal = False  # our wait expired, not the job's
+                raise error
             wait_s = (RESULT_POLL_S if remaining is None
                       else min(RESULT_POLL_S, max(0.1, remaining)))
             payload = self._get(
@@ -156,6 +276,18 @@ class ReproClient:
             return self._server.healthz()
         return self._get("/healthz")
 
+    def metrics(self) -> str:
+        """The Prometheus text of ``GET /metrics``."""
+        if self._server is not None:
+            return self._server.metrics_text()
+        return self._get_text("/metrics")
+
+    def register(self, info: Mapping[str, Any]) -> Dict[str, Any]:
+        """The fleet registration handshake (``POST /register``)."""
+        if self._server is not None:
+            return self._server.register(dict(info))
+        return self._post("/register", dict(info))
+
     def shutdown(self, drain: bool = True) -> Dict[str, Any]:
         """Ask the server to stop (drain by default)."""
         if self._server is not None:
@@ -168,34 +300,61 @@ class ReproClient:
 
     def _get(self, path: str,
              read_timeout: Optional[float] = None) -> Dict[str, Any]:
-        request = urllib.request.Request(self._base_url + path,
-                                         method="GET")
-        return self._exchange(request, read_timeout)
+        return self._exchange(path, None, read_timeout)
+
+    def _get_text(self, path: str) -> str:
+        return self._exchange(path, None, None, decode_json=False)
 
     def _post(self, path: str,
               payload: Mapping[str, Any]) -> Dict[str, Any]:
-        body = json.dumps(payload).encode("utf-8")
-        request = urllib.request.Request(
-            self._base_url + path, data=body, method="POST",
-            headers={"Content-Type": "application/json"})
-        return self._exchange(request, None)
+        return self._exchange(path, json.dumps(payload).encode("utf-8"),
+                              None)
 
-    def _exchange(self, request: urllib.request.Request,
-                  read_timeout: Optional[float]) -> Dict[str, Any]:
+    def _exchange(self, path: str, body: Optional[bytes],
+                  read_timeout: Optional[float],
+                  decode_json: bool = True) -> Any:
+        """One request against the preferred URL, failing over on
+        unreachable endpoints (sticky: the first URL that answers stays
+        preferred until it stops answering)."""
         timeout = (self.request_timeout_s if read_timeout is None
                    else read_timeout)
-        try:
-            with urllib.request.urlopen(request, timeout=timeout) as reply:
-                return json.loads(reply.read().decode("utf-8"))
-        except urllib.error.HTTPError as error:
+        reasons: List[str] = []
+        for offset in range(len(self._base_urls)):
+            index = (self._url_index + offset) % len(self._base_urls)
+            url = self._base_urls[index]
+            request = urllib.request.Request(
+                url + path, data=body,
+                method="POST" if body is not None else "GET",
+                headers=({"Content-Type": "application/json"}
+                         if body is not None else {}))
             try:
-                payload = json.loads(error.read().decode("utf-8"))
-            except (ValueError, OSError):
-                payload = {}
-            kind = _ERROR_KINDS.get(payload.get("kind"), ServiceError)
-            raise kind(payload.get("error",
-                                   f"HTTP {error.code}")) from None
-        except urllib.error.URLError as error:
-            raise ServiceError(
-                f"cannot reach the repro service at {self._base_url}: "
-                f"{error.reason}") from None
+                with urllib.request.urlopen(request,
+                                            timeout=timeout) as reply:
+                    text = reply.read().decode("utf-8")
+                self._url_index = index
+                return json.loads(text) if decode_json else text
+            except urllib.error.HTTPError as error:
+                self._url_index = index  # reachable; its answer is final
+                raise self._taxonomy_error(error) from None
+            except urllib.error.URLError as error:
+                reasons.append(f"{url}: {error.reason}")
+        raise ServiceError(
+            "cannot reach the repro service at any endpoint ("
+            + "; ".join(reasons) + ")") from None
+
+    @staticmethod
+    def _taxonomy_error(error: urllib.error.HTTPError) -> ServiceError:
+        """Rebuild the server-side exception from an HTTP error payload."""
+        try:
+            payload = json.loads(error.read().decode("utf-8"))
+        except (ValueError, OSError):
+            payload = {}
+        kind = _ERROR_KINDS.get(payload.get("kind"), ServiceError)
+        message = payload.get("error", f"HTTP {error.code}")
+        if kind is QueueFullError:
+            retry_after = payload.get("retry_after_s")
+            if retry_after is None:
+                header = error.headers.get("Retry-After")
+                retry_after = float(header) if header else 1.0
+            return QueueFullError(message, retry_after_s=float(retry_after))
+        return kind(message)

@@ -117,6 +117,39 @@ class ServiceClosedError(ServiceError):
     """Raised on submission to a draining or stopped server."""
 
 
+class QueueFullError(ServiceError):
+    """Raised when a bounded queue sheds a submission (load-shedding).
+
+    Shedding is backpressure, not failure: the HTTP transport maps this to
+    ``503`` with a ``Retry-After`` header (``retry_after_s``), and
+    :class:`~repro.service.client.ReproClient` retries the submission with
+    capped exponential backoff before giving up with
+    :class:`FleetOverloadedError`.
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 1.0) -> None:
+        super().__init__(message)
+        #: Seconds the shedder suggests waiting before resubmitting.
+        self.retry_after_s = retry_after_s
+
+
+class FleetOverloadedError(ServiceError):
+    """Raised client-side when every shed-retry attempt was itself shed.
+
+    The typed give-up of the backpressure protocol: the service (or the
+    whole fleet) stayed saturated for the client's entire retry budget.
+    """
+
+
+class AdmissionDeniedError(ServiceError):
+    """Raised when a requester's role does not grant the priority class.
+
+    Enforced by the fleet router's :class:`~repro.fleet.admission
+    .AdmissionPolicy` (priority classes are *capabilities*, not an honor
+    system); the HTTP transport maps this to ``403``.
+    """
+
+
 # ---------------------------------------------------------------------- #
 # the job record
 

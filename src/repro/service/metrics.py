@@ -1,0 +1,68 @@
+"""Prometheus-style text rendering of the service/fleet counters.
+
+No new dependency, no new bookkeeping: :func:`render_prometheus` walks the
+JSON-ready ``stats()`` document a server (or router) already maintains —
+``SessionStats``, the queue/scheduler counters, store counters — and emits
+every numeric leaf in the Prometheus text exposition format (version
+0.0.4)::
+
+    # TYPE repro_queue_pending gauge
+    repro_queue_pending 3
+    # TYPE repro_session_synthesis_runs gauge
+    repro_session_synthesis_runs 42
+
+Nested mappings flatten with ``_`` (``{"queue": {"pending": 3}}`` becomes
+``repro_queue_pending``); booleans render as ``0``/``1``; strings, nulls,
+and lists are skipped (they are labels, not samples).  Both the worker
+(:class:`~repro.service.server.ReproServer`) and the fleet router
+(:class:`~repro.fleet.router.FleetRouter`) serve the result on
+``GET /metrics``.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, List, Mapping
+
+#: Content type of the Prometheus text exposition format.
+METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_SANITIZER = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _metric_name(*parts: str) -> str:
+    """Join path components into a legal Prometheus metric name."""
+    joined = "_".join(part for part in parts if part)
+    name = _NAME_SANITIZER.sub("_", joined)
+    if name and name[0].isdigit():
+        name = "_" + name
+    return name
+
+
+def _walk(prefix: str, document: Mapping[str, Any],
+          samples: List[str]) -> None:
+    for key in sorted(document):
+        value = document[key]
+        name = _metric_name(prefix, str(key))
+        if isinstance(value, Mapping):
+            _walk(name, value, samples)
+        elif isinstance(value, bool):
+            samples.append(f"# TYPE {name} gauge\n{name} {int(value)}")
+        elif isinstance(value, (int, float)):
+            if isinstance(value, float) and not math.isfinite(value):
+                continue  # NaN/inf samples poison scrapes; drop them
+            samples.append(f"# TYPE {name} gauge\n{name} {value}")
+        # strings, None, lists: identity/labels, not numeric samples
+
+
+def render_prometheus(stats: Mapping[str, Any],
+                      prefix: str = "repro") -> str:
+    """Flatten a ``stats()`` document into Prometheus text format.
+
+    Deterministic: keys are emitted in sorted order at every nesting
+    level, so two scrapes of identical counters are byte-identical.
+    """
+    samples: List[str] = []
+    _walk(prefix, stats, samples)
+    return "\n".join(samples) + "\n"

@@ -21,6 +21,14 @@ Per-job deadlines are enforced at the queue: a job whose deadline passes
 while still queued is moved to the ``timeout`` state instead of being
 dispatched, and :meth:`drain_batch` sleeps no longer than the nearest
 queued deadline so expiry does not wait for the next submission.
+
+The queue is optionally *bounded* (``max_pending``): once that many jobs
+are queued, further non-coalescing submissions are **shed** with
+:class:`~repro.service.jobs.QueueFullError` instead of growing the
+backlog without limit — the HTTP transport turns that into ``503`` with a
+``Retry-After`` header, and well-behaved clients back off and resubmit.
+Coalescing submissions are always admitted (they add no work), so a
+saturated queue still deduplicates.
 """
 
 from __future__ import annotations
@@ -36,6 +44,7 @@ from repro.api.workload import Workload
 from repro.service.jobs import (
     Job,
     JobTimeoutError,
+    QueueFullError,
     ServiceClosedError,
     UnknownJobError,
     parse_priority,
@@ -45,11 +54,29 @@ from repro.service.jobs import (
 #: calls before the oldest are forgotten (in-flight jobs never expire).
 DEFAULT_HISTORY_LIMIT = 1024
 
+#: ``Retry-After`` suggested by a shedding queue (seconds): the base hint
+#: plus this much per already-queued job, capped.  Deterministic — tests
+#: and clients can reason about it.
+SHED_RETRY_AFTER_BASE_S = 1.0
+SHED_RETRY_AFTER_PER_JOB_S = 0.25
+SHED_RETRY_AFTER_CAP_S = 30.0
+
 
 class JobQueue:
-    """Thread-safe priority queue with request coalescing (see module doc)."""
+    """Thread-safe priority queue with request coalescing (see module doc).
 
-    def __init__(self, history_limit: int = DEFAULT_HISTORY_LIMIT) -> None:
+    ``max_pending`` bounds the queued backlog (``None`` = unbounded): a
+    non-coalescing submission that would exceed it is shed with
+    :class:`QueueFullError` carrying a deterministic ``retry_after_s``
+    hint that grows with queue depth.
+    """
+
+    def __init__(self, history_limit: int = DEFAULT_HISTORY_LIMIT,
+                 max_pending: Optional[int] = None) -> None:
+        if max_pending is not None and max_pending < 1:
+            raise ValueError(
+                f"max_pending must be >= 1 or None (got {max_pending})")
+        self._max_pending = max_pending
         self._lock = threading.Lock()
         self._has_work = threading.Condition(self._lock)
         #: Heap entries: (priority, sequence, job).  Entries whose job is
@@ -71,6 +98,7 @@ class JobQueue:
         self._timed_out = 0
         self._completed = 0
         self._failed = 0
+        self._shed = 0
 
     # ------------------------------------------------------------------ #
     # submission / coalescing
@@ -98,8 +126,21 @@ class JobQueue:
             if self._closed:
                 raise ServiceClosedError(
                     "the service is draining and accepts no new jobs")
-            self._submitted += 1
             job = self._inflight.get(workload)
+            if job is None and self._max_pending is not None:
+                pending = sum(1 for queued in self._inflight.values()
+                              if queued.state == "queued")
+                if pending >= self._max_pending:
+                    self._shed += 1
+                    retry_after = min(
+                        SHED_RETRY_AFTER_CAP_S,
+                        SHED_RETRY_AFTER_BASE_S
+                        + pending * SHED_RETRY_AFTER_PER_JOB_S)
+                    raise QueueFullError(
+                        f"queue full ({pending} jobs pending, bound "
+                        f"{self._max_pending}); retry in ~{retry_after:.1f}s",
+                        retry_after_s=retry_after)
+            self._submitted += 1
             if job is not None:
                 job.requesters += 1
                 job.coalesced += 1
@@ -353,6 +394,8 @@ class JobQueue:
                 "failed": self._failed,
                 "cancelled": self._cancelled,
                 "timed_out": self._timed_out,
+                "shed": self._shed,
+                "max_pending": self._max_pending,
                 "pending": pending,
                 "running": running,
             }

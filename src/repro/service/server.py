@@ -12,7 +12,14 @@ over two transports:
 * **HTTP**: the same operations as a minimal stdlib-only JSON endpoint
   (:mod:`http.server`, threaded) via :meth:`serve_http` — ``POST
   /submit``, ``GET /status``, ``GET /result``, ``POST /cancel``, ``GET
-  /stats``, ``GET /healthz``, ``POST /shutdown``.
+  /stats``, ``GET /healthz``, ``GET /metrics`` (Prometheus text), ``POST
+  /register`` (fleet handshake), ``POST /shutdown``.
+
+The queue is optionally bounded (``max_pending``): a saturated server
+*sheds* new work with ``503 + Retry-After`` (:class:`~repro.service.jobs
+.QueueFullError`) instead of building unbounded backlog — the
+backpressure half of the fleet tier (:mod:`repro.fleet`), whose router
+fronts N of these servers and routes by consistent hash.
 
 Job lifecycle (``job-queued`` / ``job-coalesced`` / ``job-started`` /
 ``job-finished`` / ``job-failed``) streams through the session's existing
@@ -45,12 +52,15 @@ from repro.api.store import ArtifactStore
 from repro.api.workload import Workload
 from repro.dse.engine import shared_table_stats
 from repro.service.jobs import (
+    AdmissionDeniedError,
     JobCancelledError,
     JobFailedError,
     JobTimeoutError,
+    QueueFullError,
     ServiceClosedError,
     UnknownJobError,
 )
+from repro.service.metrics import METRICS_CONTENT_TYPE, render_prometheus
 from repro.service.queue import JobQueue
 from repro.service.scheduler import Scheduler
 
@@ -78,6 +88,8 @@ class ReproServer:
                  max_batch: int = 16,
                  batch_window_s: float = 0.0,
                  history_limit: int = 1024,
+                 max_pending: Optional[int] = None,
+                 worker_id: Optional[str] = None,
                  on_event: Optional[Callable[[SessionEvent], None]] = None,
                  start: bool = True) -> None:
         if session is not None and store is not None:
@@ -87,7 +99,12 @@ class ReproServer:
             store=store)
         if on_event is not None:
             self._session.on_event(on_event)
-        self._queue = JobQueue(history_limit=history_limit)
+        self._queue = JobQueue(history_limit=history_limit,
+                               max_pending=max_pending)
+        #: This worker's own identity, reported in the fleet registration
+        #: handshake (lets a router detect two URLs naming one worker).
+        self.worker_id = worker_id or f"worker-{os.getpid()}"
+        self._fleet_registration: Optional[Dict[str, Any]] = None
         self._scheduler = Scheduler(self._session, self._queue,
                                     executor=executor,
                                     max_workers=max_workers,
@@ -264,6 +281,8 @@ class ReproServer:
         return {
             "state": self._state(),
             "uptime_s": time.time() - self._started_at,
+            "worker_id": self.worker_id,
+            "fleet": self._fleet_registration,
             "http_address": (None if self._http_address is None
                              else "http://{}:{}".format(*self._http_address)),
             "queue": self._queue.stats_snapshot(),
@@ -280,10 +299,40 @@ class ReproServer:
         return {
             "ok": state == "serving",
             "state": state,
+            "worker_id": self.worker_id,
             "uptime_s": time.time() - self._started_at,
             "pending_jobs": self._queue.pending_count(),
             "running_jobs": self._queue.running_count(),
             "scheduler_alive": self._scheduler.running,
+        }
+
+    def metrics_text(self) -> str:
+        """The counters as Prometheus text (``GET /metrics``)."""
+        return render_prometheus(self.stats())
+
+    def register(self, info: Mapping[str, Any]) -> Dict[str, Any]:
+        """Fleet registration handshake (``POST /register``).
+
+        A router announces itself here before routing traffic; the worker
+        records the registration (visible under ``stats()["fleet"]``) and
+        answers with its identity, state, and — crucially — its store
+        root, so the router can verify every fleet member shares one
+        :class:`~repro.api.store.ArtifactStore` (the warm-through-store
+        cache tier).  Re-registration overwrites (routers re-handshake
+        after a worker restart).
+        """
+        store = self._session.store
+        self._fleet_registration = {
+            "router": info.get("router"),
+            "member_name": info.get("member_name"),
+            "registered_at": time.time(),
+        }
+        return {
+            "ok": True,
+            "worker_id": self.worker_id,
+            "state": self._state(),
+            "store_root": None if store is None else store.root,
+            "max_pending": self._queue.stats_snapshot()["max_pending"],
         }
 
     # ------------------------------------------------------------------ #
@@ -298,16 +347,25 @@ class ReproServer:
         """
         if self._httpd is not None:
             return self._http_address  # already listening
-        httpd = _ServiceHTTPServer((host, port), _ServiceRequestHandler)
-        httpd.service = self
-        self._httpd = httpd
-        self._http_address = (httpd.server_address[0],
-                              httpd.server_address[1])
-        self._http_thread = threading.Thread(
-            target=httpd.serve_forever, name="repro-service-http",
-            daemon=True)
-        self._http_thread.start()
+        self._httpd, self._http_thread, self._http_address = (
+            start_http_endpoint(self, host, port))
         return self._http_address
+
+
+def start_http_endpoint(service: Any, host: str, port: int,
+                        thread_name: str = "repro-service-http"
+                        ) -> Tuple["_ServiceHTTPServer", threading.Thread,
+                                   Tuple[str, int]]:
+    """Bind the JSON endpoint for any job-API object (worker or fleet
+    router — the handler only calls the shared verbs) and serve it on a
+    daemon thread.  Returns ``(httpd, thread, (host, port))``."""
+    httpd = _ServiceHTTPServer((host, port), _ServiceRequestHandler)
+    httpd.service = service
+    address = (httpd.server_address[0], httpd.server_address[1])
+    thread = threading.Thread(target=httpd.serve_forever,
+                              name=thread_name, daemon=True)
+    thread.start()
+    return httpd, thread, address
 
 
 class _ServiceHTTPServer(ThreadingHTTPServer):
@@ -321,9 +379,12 @@ _ERROR_STATUS = (
     (UnknownJobError, 404),
     (JobTimeoutError, 408),
     (JobCancelledError, 409),
+    (AdmissionDeniedError, 403),
+    (QueueFullError, 503),
     (ServiceClosedError, 503),
     (JobFailedError, 500),
     (ValueError, 400),
+    (TypeError, 400),
     (KeyError, 400),
 )
 
@@ -347,6 +408,9 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
                 self._respond(200 if payload["ok"] else 503, payload)
             elif parsed.path == "/stats":
                 self._respond(200, service.stats())
+            elif parsed.path == "/metrics":
+                self._respond_text(200, service.metrics_text(),
+                                   METRICS_CONTENT_TYPE)
             elif parsed.path == "/status":
                 self._respond(200, service.status(self._job_id(query)))
             elif parsed.path == "/result":
@@ -382,11 +446,19 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
         try:
             body = self._read_json()
             if parsed.path == "/submit":
-                receipt = service.submit(
-                    body["workload"],
-                    priority=body.get("priority"),
-                    timeout_s=body.get("timeout_s"))
+                keywords: Dict[str, Any] = {
+                    "priority": body.get("priority"),
+                    "timeout_s": body.get("timeout_s"),
+                }
+                if "role" in body:
+                    # admission-control surface of the fleet router; a
+                    # plain worker rejects it (TypeError -> 400) instead
+                    # of silently dropping a capability check
+                    keywords["role"] = body["role"]
+                receipt = service.submit(body["workload"], **keywords)
                 self._respond(200, receipt)
+            elif parsed.path == "/register":
+                self._respond(200, service.register(body))
             elif parsed.path == "/cancel":
                 self._respond(200, service.cancel(body["job_id"]))
             elif parsed.path == "/shutdown":
@@ -420,11 +492,22 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
             raise ValueError("request body must be a JSON object")
         return payload
 
-    def _respond(self, status: int, payload: Mapping[str, Any]) -> None:
+    def _respond(self, status: int, payload: Mapping[str, Any],
+                 headers: Optional[Mapping[str, str]] = None) -> None:
         body = json.dumps(payload).encode("utf-8")
+        self._send_body(status, body, "application/json", headers)
+
+    def _respond_text(self, status: int, text: str,
+                      content_type: str = "text/plain") -> None:
+        self._send_body(status, text.encode("utf-8"), content_type, None)
+
+    def _send_body(self, status: int, body: bytes, content_type: str,
+                   headers: Optional[Mapping[str, str]]) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -436,9 +519,16 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
                 break
         message = (error.args[0] if isinstance(error, KeyError)
                    and error.args else str(error))
+        payload = {"error": str(message), "kind": type(error).__name__}
+        headers = None
+        retry_after = getattr(error, "retry_after_s", None)
+        if retry_after is not None:
+            # the load-shedding contract: 503 + Retry-After, so any
+            # off-the-shelf client (curl --retry, proxies) backs off too
+            payload["retry_after_s"] = retry_after
+            headers = {"Retry-After": str(max(1, round(retry_after)))}
         try:
-            self._respond(status, {"error": str(message),
-                                   "kind": type(error).__name__})
+            self._respond(status, payload, headers)
         except (BrokenPipeError, ConnectionResetError):
             pass  # client went away mid-error; nothing to salvage
 

@@ -1,0 +1,81 @@
+"""Admission-control tests: the role -> priority-class capability check."""
+
+import pytest
+
+from repro.fleet.admission import DEFAULT_ROLES, AdmissionPolicy
+from repro.service.jobs import AdmissionDeniedError, parse_priority
+
+
+class TestDefaultLattice:
+    def test_operator_holds_every_class(self):
+        policy = AdmissionPolicy()
+        for name in ("interactive", "batch", "background"):
+            assert policy.admit("operator", name) == parse_priority(name)
+
+    def test_guest_holds_only_background(self):
+        policy = AdmissionPolicy()
+        assert policy.admit("guest", "background") \
+            == parse_priority("background")
+        for name in ("interactive", "batch"):
+            with pytest.raises(AdmissionDeniedError):
+                policy.admit("guest", name)
+
+    def test_user_sits_between(self):
+        policy = AdmissionPolicy()
+        assert policy.admit("user", "batch") == parse_priority("batch")
+        with pytest.raises(AdmissionDeniedError):
+            policy.admit("user", "interactive")
+
+    def test_lattice_is_a_chain_of_supersets(self):
+        grants = {role: set(classes)
+                  for role, classes in DEFAULT_ROLES.items()}
+        assert grants["guest"] < grants["user"] < grants["operator"]
+
+
+class TestDefaultsAndUnknowns:
+    def test_missing_role_uses_the_default_role(self):
+        # single-tenant compatibility: no role behaves like the worker tier
+        assert AdmissionPolicy().admit(None, "interactive") \
+            == parse_priority("interactive")
+        with pytest.raises(AdmissionDeniedError):
+            AdmissionPolicy(default_role="guest").admit(None, "interactive")
+
+    def test_missing_priority_uses_the_default_class(self):
+        policy = AdmissionPolicy()
+        assert policy.admit("operator", None) == parse_priority(None)
+
+    def test_unknown_role_is_denied_outright(self):
+        with pytest.raises(AdmissionDeniedError, match="unknown role"):
+            AdmissionPolicy().admit("nobody", "background")
+
+    def test_role_matching_is_case_insensitive(self):
+        policy = AdmissionPolicy()
+        assert policy.admit(" Operator ", "interactive") \
+            == parse_priority("interactive")
+
+    def test_undefined_default_role_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="default_role"):
+            AdmissionPolicy(default_role="root")
+
+
+class TestCustomPoliciesAndCounters:
+    def test_custom_grant_table(self):
+        policy = AdmissionPolicy(
+            roles={"ci": ("batch",)}, default_role="ci")
+        assert policy.admit(None, "batch") == parse_priority("batch")
+        with pytest.raises(AdmissionDeniedError):
+            policy.admit("ci", "interactive")
+        with pytest.raises(AdmissionDeniedError):
+            policy.admit("operator", "batch")  # not in this table
+
+    def test_counters_track_admissions_and_denials(self):
+        policy = AdmissionPolicy()
+        policy.admit("operator", "batch")
+        with pytest.raises(AdmissionDeniedError):
+            policy.admit("guest", "interactive")
+        assert policy.counters() == {"admitted": 1, "denied": 1}
+
+    def test_roles_view_is_json_ready(self):
+        view = AdmissionPolicy().roles()
+        assert view["guest"] == ["background"]
+        assert sorted(view) == ["guest", "operator", "user"]
