@@ -33,7 +33,15 @@ This is the 60-second tour of the public API (:mod:`repro.api`):
    always land on the same worker (coalescing keeps working fleet-wide)
    and a shared artifact store makes anything synthesized on one worker a
    disk hit on every other.  ``python -m repro fleet --workers 4`` from
-   the shell; ``python -m repro submit blur --fleet URL`` to use it.
+   the shell; ``python -m repro submit blur --fleet URL`` to use it;
+10. stream million-candidate spaces out of core (:mod:`repro.dse.stream`):
+    ``stream=True`` (or just a big enough space — exploration auto-selects
+    streaming above ~200k candidates) evaluates fixed-size chunks against
+    a bounded running frontier instead of materializing every column, with
+    infeasible rows pruned *before* they are ever costed.  Same frontier,
+    bit for bit.  ``python -m repro explore blur --stream --chunk-rows
+    4096`` from the shell (``sweep`` takes the same flags); see
+    ``examples/large_space_demo.py`` for the full out-of-core tour.
 
 Run with::
 
@@ -239,6 +247,26 @@ def main() -> None:
                   f"{len(stats['workers'])} workers, aggregate "
                   f"synthesis_runs={stats['aggregate']['synthesis_runs']} "
                   f"(served from the fleet-shared store)")
+    print()
+
+    # 10. out-of-core streaming: widen the instance-count axis and the
+    #     space jumps from hundreds to tens of thousands of candidates.
+    #     stream=True folds fixed-size chunks into a bounded running
+    #     frontier — the result is identical to the in-memory engine, and
+    #     the `streaming` block reports how many rows were pruned by the
+    #     area constraints before ever being costed.
+    from repro.dse.constraints import DseConstraints
+
+    wide = workload.replace(synthesize_all=False, max_cones_per_depth=2000,
+                            constraints=DseConstraints(device_only=True),
+                            stream=True, chunk_rows=4096)
+    streamed = Session().run(wide)
+    meta = streamed.exploration.streaming
+    print(f"streaming mode: {meta['space_rows']:,} candidates in "
+          f"{meta['chunks_total']} chunks, {meta['pruned_fraction']:.1%} "
+          f"pruned before costing, frontier never held more than "
+          f"{meta['frontier_peak']} points "
+          f"({len(streamed.pareto)} final Pareto points)")
 
 
 if __name__ == "__main__":

@@ -412,6 +412,36 @@ def run_fleet_throughput() -> dict:
     }
 
 
+def run_large_space(max_cones=23_000, rss_ceiling_mb=512.0) -> dict:
+    """Stream a million-candidate space out of core and record the cost.
+
+    Runs ``scripts/large_smoke.py`` in a fresh subprocess so
+    ``ru_maxrss`` measures the streaming exploration alone — the bench
+    process itself has already materialized paper-scale tables.  The
+    default ``max_cones`` widens the blur space's instance-count axis to
+    9 windows x 5 splits x 23,000 counts = 1,035,000 candidates; the
+    subprocess fails (and so does this section) if the peak RSS exceeds
+    the ceiling.  Records candidates/s, the pruned-before-costing
+    fraction, and the bounded frontier/chunk peaks.
+    """
+    completed = subprocess.run(
+        [sys.executable, os.path.join(REPO_ROOT, "scripts",
+                                      "large_smoke.py"),
+         "--skip-digest", "--json", "--max-cones", str(max_cones),
+         "--min-rows", "1000000", "--rss-ceiling-mb", str(rss_ceiling_mb)],
+        capture_output=True, text=True)
+    if completed.returncode != 0:
+        raise RuntimeError(f"large-space smoke failed:\n{completed.stdout}"
+                           f"\n{completed.stderr}")
+    metrics = json.loads(completed.stdout)
+    print(f"    {metrics['space_rows']:,} candidates at "
+          f"{metrics['candidates_per_s']:,.0f}/s, "
+          f"{metrics['pruned_fraction']:.1%} pruned before costing, "
+          f"peak RSS {metrics['peak_rss_mb']} MB "
+          f"(ceiling {rss_ceiling_mb} MB)")
+    return metrics
+
+
 def module_summary(modules, per_workload) -> dict:
     """Map each bench module to its workloads plus their aggregate cost."""
     summary = {}
@@ -476,6 +506,10 @@ def main(argv=None) -> int:
     parser.add_argument("--skip-fleet", action="store_true",
                         help="skip the fleet throughput burst (jobs/s, "
                              "shed count, placement distribution)")
+    parser.add_argument("--skip-large-space", action="store_true",
+                        help="skip the million-candidate out-of-core "
+                             "streaming benchmark (candidates/s, peak "
+                             "RSS, pruned fraction)")
     args = parser.parse_args(argv)
 
     modules = discover_bench_modules()
@@ -549,6 +583,11 @@ def main(argv=None) -> int:
         print("running the fleet throughput burst "
               "(16 jobs through a 3-worker consistent-hash fleet)...")
         snapshot["fleet_throughput"] = run_fleet_throughput()
+
+    if not args.skip_large_space:
+        print("running the large-space streaming benchmark "
+              "(1,035,000-candidate blur space, fresh subprocess)...")
+        snapshot["large_space"] = run_large_space()
 
     if args.pytest:
         print("running the pytest benchmark suite...")

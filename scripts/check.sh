@@ -17,6 +17,11 @@
 #                               # over HTTP, assert digests match direct
 #                               # Session.run and the whole fleet drains
 #                               # cleanly
+#   scripts/check.sh --large    # out-of-core smoke: stream a >=10^5-
+#                               # candidate space under a hard RSS ceiling
+#                               # and assert streamed results are digest-
+#                               # identical to explore_columnar on the
+#                               # paper-scale subspace
 #   scripts/check.sh -k store   # extra args are passed through to pytest
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -50,6 +55,7 @@ def guarded(name, *args, **kwargs):
 
 builtins.__import__ = guarded
 import repro.dse.engine  # noqa: F401  (the guard is the side effect)
+import repro.dse.stream  # noqa: F401  (same deployment footprint)
 
 non_stdlib = [name for name in BLOCKED if name in sys.modules]
 assert not non_stdlib, non_stdlib
@@ -79,6 +85,13 @@ case "${1:-}" in
     python -m compileall -q src
     PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
         python scripts/fleet_smoke.py "$@"
+    exit $?
+    ;;
+--large)
+    shift
+    python -m compileall -q src
+    # A fresh process so ru_maxrss measures the streaming run alone.
+    python scripts/large_smoke.py "$@"
     exit $?
     ;;
 --par)

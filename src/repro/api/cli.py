@@ -170,6 +170,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="comma-separated cone window sides")
     sweep.add_argument("--max-depth", type=int,
                        default=DEFAULT_OPTIONS.max_depth)
+    sweep.add_argument("--max-cones", type=int,
+                       default=DEFAULT_OPTIONS.max_cones_per_depth,
+                       help="maximum cone instances per depth "
+                            "(large values grow the candidate space; "
+                            "combine with --stream)")
+    sweep.add_argument("--stream", action="store_true", default=None,
+                       help="force the out-of-core chunked evaluation for "
+                            "every scenario (default: auto above the "
+                            "engine's row threshold; streamed results "
+                            "materialize only the Pareto frontier)")
+    sweep.add_argument("--chunk-rows", type=int, default=None, metavar="N",
+                       help="rows materialized per streaming chunk")
     _add_executor_arguments(sweep)
     sweep.add_argument("--json", action="store_true",
                        help="emit per-workload summaries plus session stats "
@@ -366,6 +378,14 @@ def _add_workload_arguments(parser: argparse.ArgumentParser,
                         help="area constraint (kLUTs)")
     parser.add_argument("--device-only", action="store_true",
                         help="keep only design points fitting the device")
+    parser.add_argument("--stream", action="store_true", default=None,
+                        help="force the out-of-core chunked evaluation "
+                             "(default: auto above the engine's row "
+                             "threshold; streamed results materialize "
+                             "only the Pareto frontier)")
+    parser.add_argument("--chunk-rows", type=int, default=None, metavar="N",
+                        help="rows materialized per streaming chunk "
+                             "(default: the engine default)")
     if include_store:
         parser.add_argument("--store", metavar="DIR", nargs="?",
                             const=default_store_path(), default=None,
@@ -422,6 +442,8 @@ def workload_from_args(args: argparse.Namespace) -> Workload:
         max_cones_per_depth=args.max_cones,
         synthesize_all=args.synthesize_all,
         constraints=_constraints_from(args),
+        stream=args.stream,
+        chunk_rows=args.chunk_rows,
     )
     if windows is not None:
         keywords["window_sides"] = windows
@@ -575,7 +597,10 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                                     frame_width=frame_width,
                                     frame_height=frame_height,
                                     iterations=args.iterations,
-                                    max_depth=args.max_depth)
+                                    max_depth=args.max_depth,
+                                    max_cones_per_depth=args.max_cones,
+                                    stream=args.stream,
+                                    chunk_rows=args.chunk_rows)
                     if windows is not None:
                         keywords["window_sides"] = windows
                     workloads.append(Workload.from_algorithm(name, **keywords))
@@ -598,6 +623,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             "design_points": len(result.design_points),
             "pareto_points": len(result.pareto),
             "synthesis_runs": result.exploration.synthesis_runs,
+            "streaming": result.exploration.streaming,
             "best_fitting": None if best is None else best.to_dict(),
         })
     payload = {"workloads": summaries, "session": stats.to_dict()}

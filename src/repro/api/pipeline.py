@@ -172,6 +172,8 @@ class Pipeline:
             constraints=workload.constraints,
             onchip_port_elements_per_cycle=(
                 workload.onchip_port_elements_per_cycle),
+            stream=workload.stream,
+            chunk_rows=workload.chunk_rows,
         )
 
     def _stage_pareto(self) -> FlowResult:

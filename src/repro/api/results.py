@@ -45,6 +45,12 @@ class FlowOptions:
     synthesizer: str = "analytic"
     area_estimator: str = "register-model"
     throughput_estimator: str = "analytic"
+    #: Out-of-core evaluation knobs (:mod:`repro.dse.stream`): ``stream``
+    #: is tri-state (None = auto-select above the engine's row threshold),
+    #: ``chunk_rows`` bounds the rows materialized per chunk (None = the
+    #: engine default).
+    stream: Optional[bool] = None
+    chunk_rows: Optional[int] = None
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-ready representation."""
@@ -65,6 +71,8 @@ class FlowOptions:
             "synthesizer": self.synthesizer,
             "area_estimator": self.area_estimator,
             "throughput_estimator": self.throughput_estimator,
+            "stream": self.stream,
+            "chunk_rows": self.chunk_rows,
         }
 
     @classmethod
@@ -88,6 +96,9 @@ class FlowOptions:
             synthesizer=data.get("synthesizer", "analytic"),
             area_estimator=data.get("area_estimator", "register-model"),
             throughput_estimator=data.get("throughput_estimator", "analytic"),
+            # .get: payloads written before the streaming engine existed
+            stream=data.get("stream"),
+            chunk_rows=data.get("chunk_rows"),
         )
 
 

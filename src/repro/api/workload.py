@@ -43,7 +43,8 @@ _OPTION_FIELDS = tuple(f.name for f in fields(FlowOptions))
 #: knob conservatively splits the cache until listed here.
 _NON_SHAPE_FIELDS = frozenset({"frame_width", "frame_height", "iterations",
                                "constraints",
-                               "onchip_port_elements_per_cycle"})
+                               "onchip_port_elements_per_cycle",
+                               "stream", "chunk_rows"})
 
 
 @dataclass(frozen=True)
@@ -81,6 +82,11 @@ class Workload:
     synthesizer: str = _DEFAULTS.synthesizer
     area_estimator: str = _DEFAULTS.area_estimator
     throughput_estimator: str = _DEFAULTS.throughput_estimator
+    #: Out-of-core evaluation knobs (None = auto / engine default); they
+    #: parameterize only the per-exploration evaluation, never the cone
+    #: characterizations (listed in _NON_SHAPE_FIELDS).
+    stream: Optional[bool] = _DEFAULTS.stream
+    chunk_rows: Optional[int] = _DEFAULTS.chunk_rows
     kernel_fingerprint: str = field(default="", init=False)
 
     def __post_init__(self) -> None:
@@ -95,6 +101,9 @@ class Workload:
             raise ValueError(
                 f"frame must be at least 1x1 (got "
                 f"{self.frame_width}x{self.frame_height})")
+        if self.chunk_rows is not None and self.chunk_rows < 1:
+            raise ValueError(
+                f"chunk_rows must be >= 1 (got {self.chunk_rows})")
         object.__setattr__(self, "window_sides",
                            tuple(sorted(set(self.window_sides))))
         # Always normalize: an already-tuple params value may still be

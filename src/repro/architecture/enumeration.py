@@ -11,6 +11,8 @@ not divide the iteration count waste area on the remainder cone.
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict, namedtuple
 from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
@@ -83,6 +85,42 @@ def _cached_splits(total_iterations: int, max_depth: Optional[int],
     return _all_compositions(total_iterations, limit)
 
 
+@lru_cache(maxsize=512)
+def _count_compositions(total_iterations: int, limit: int) -> int:
+    """Number of compositions of ``total_iterations`` into parts <= ``limit``
+    (counted by dynamic programming, never materialized)."""
+    counts = [0] * (total_iterations + 1)
+    counts[0] = 1
+    for value in range(1, total_iterations + 1):
+        counts[value] = sum(counts[value - part]
+                            for part in range(1, min(limit, value) + 1))
+    return counts[total_iterations]
+
+
+def count_level_splits(total_iterations: int,
+                       max_depth: Optional[int] = None,
+                       uniform_only: bool = True) -> int:
+    """``len(enumerate_level_splits(...))`` without materializing the splits.
+
+    Uniform splittings are counted in O(1): for every depth ``d <= n`` the
+    splitting produced by :func:`single_depth_split` starts with ``d``
+    itself, so the candidate depths ``1..min(max_depth, n)`` yield pairwise
+    distinct splittings and the deduplicated count is exactly that limit.
+    The full composition space is counted by a memoized DP.  Streaming
+    consumers (:mod:`repro.dse.stream`) use this to size million-candidate
+    spaces — auto-select thresholds and pruned-fraction denominators —
+    before (or instead of) enumerating anything.
+    """
+    check_positive("total_iterations", total_iterations)
+    limit = max_depth if max_depth is not None else total_iterations
+    limit = min(limit, total_iterations)
+    if limit <= 0:
+        return 0
+    if uniform_only:
+        return limit
+    return _count_compositions(total_iterations, limit)
+
+
 def enumerate_level_splits(total_iterations: int,
                            max_depth: Optional[int] = None,
                            uniform_only: bool = True) -> List[List[int]]:
@@ -139,11 +177,74 @@ class ArchitectureTable:
         return range(base, base + len(self.counts))
 
 
-@lru_cache(maxsize=128)
-def _space_table_cached(total_iterations: int, max_depth: Optional[int],
-                          uniform_only: bool,
-                          window_sides: Tuple[int, ...],
-                          max_cones_per_depth: int) -> ArchitectureTable:
+#: Entries the process-wide table cache may hold at once.  A table over a
+#: million-candidate space is tens of MB of column arrays, so the bound is
+#: deliberately small: a sweep re-costs one shared table thousands of times
+#: (hits), while distinct shape-knob sets beyond the bound evict the least
+#: recently used table instead of pinning old spaces in RAM.
+TABLE_CACHE_CAPACITY = 8
+
+_CacheInfo = namedtuple("CacheInfo", ("hits", "misses", "maxsize", "currsize"))
+
+
+class _LruTableCache:
+    """Thread-safe bounded LRU with ``functools.lru_cache``'s stat surface.
+
+    Unlike ``lru_cache`` it counts evictions, making cache-thrash on
+    large-space runs observable through
+    :func:`repro.dse.engine.shared_table_stats`.
+    """
+
+    def __init__(self, builder, maxsize: int) -> None:
+        self._builder = builder
+        self._maxsize = maxsize
+        self._entries: "OrderedDict[Tuple, ArchitectureTable]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def __call__(self, *key):
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                return entry
+            self._misses += 1
+        built = self._builder(*key)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                # a racing builder won; share its table
+                self._entries.move_to_end(key)
+                return entry
+            self._entries[key] = built
+            while len(self._entries) > self._maxsize:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+        return built
+
+    def cache_info(self) -> _CacheInfo:
+        with self._lock:
+            return _CacheInfo(self._hits, self._misses, self._maxsize,
+                              len(self._entries))
+
+    @property
+    def evictions(self) -> int:
+        with self._lock:
+            return self._evictions
+
+    def cache_clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._hits = self._misses = self._evictions = 0
+
+
+def _build_space_table(total_iterations: int, max_depth: Optional[int],
+                       uniform_only: bool,
+                       window_sides: Tuple[int, ...],
+                       max_cones_per_depth: int) -> ArchitectureTable:
     splits = _cached_splits(total_iterations, max_depth, uniform_only)
     counts = tuple(range(1, max_cones_per_depth + 1))
     n_splits, n_counts = len(splits), len(counts)
@@ -157,13 +258,17 @@ def _space_table_cached(total_iterations: int, max_depth: Optional[int],
     primary_depth = (primaries[split_index] if n_splits
                      else np.empty(0, dtype=np.int64))
     columns = ArchitectureTable(window_sides=window_sides, splits=splits,
-                           counts=counts, window=window,
-                           split_index=split_index,
-                           primary_count=primary_count,
-                           primary_depth=primary_depth)
+                                counts=counts, window=window,
+                                split_index=split_index,
+                                primary_count=primary_count,
+                                primary_depth=primary_depth)
     for array in (window, split_index, primary_count, primary_depth):
         array.setflags(write=False)
     return columns
+
+
+_space_table_cached = _LruTableCache(_build_space_table,
+                                     maxsize=TABLE_CACHE_CAPACITY)
 
 
 def space_table(space: "ArchitectureSpace") -> ArchitectureTable:
@@ -175,9 +280,9 @@ def space_table(space: "ArchitectureSpace") -> ArchitectureTable:
     table serves every device/format/frame scenario of a sweep.
     """
     return _space_table_cached(space.total_iterations, space.max_depth,
-                                 space.uniform_levels_only,
-                                 tuple(space.window_sides),
-                                 space.max_cones_per_depth)
+                               space.uniform_levels_only,
+                               tuple(space.window_sides),
+                               space.max_cones_per_depth)
 
 
 @dataclass
@@ -284,11 +389,15 @@ class ArchitectureSpace:
     def size(self, cone_count_choices: Optional[Sequence[int]] = None) -> int:
         # mirror architecture_groups(): a falsy choices value means the full
         # 1..max_cones_per_depth range, so size() always equals
-        # len(list(architectures(...)))
-        counts = tuple(cone_count_choices
-                       or range(1, self.max_cones_per_depth + 1))
-        return (len(self._splits()) * len(tuple(self.window_sides))
-                * len(counts))
+        # len(list(architectures(...))).  The split factor comes from
+        # count_level_splits, so sizing a huge space (the streaming
+        # engine's auto-select threshold, pruned-fraction denominators)
+        # never materializes a single splitting.
+        n_counts = (len(tuple(cone_count_choices)) if cone_count_choices
+                    else self.max_cones_per_depth)
+        return (count_level_splits(self.total_iterations, self.max_depth,
+                                   self.uniform_levels_only)
+                * len(tuple(self.window_sides)) * n_counts)
 
 
 def enumerate_architectures(kernel_name: str, total_iterations: int, radius: int,

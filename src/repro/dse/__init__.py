@@ -14,6 +14,10 @@ from repro.dse.pareto import pareto_front, pareto_indices, is_dominated
 from repro.dse.constraints import DseConstraints
 from repro.dse.engine import (ColumnarExploration, explore_columnar,
                               supports_columnar)
+from repro.dse.stream import (DEFAULT_CHUNK_ROWS, STREAM_AUTO_THRESHOLD,
+                              SpaceChunk, StreamingExploration,
+                              StreamingFrontier, StreamingTopK,
+                              explore_stream, plan_chunks, stream_stats)
 from repro.dse.explorer import DesignSpaceExplorer, ExplorationResult, ConeCharacterization
 
 __all__ = [
@@ -25,6 +29,15 @@ __all__ = [
     "ColumnarExploration",
     "explore_columnar",
     "supports_columnar",
+    "DEFAULT_CHUNK_ROWS",
+    "STREAM_AUTO_THRESHOLD",
+    "SpaceChunk",
+    "StreamingExploration",
+    "StreamingFrontier",
+    "StreamingTopK",
+    "explore_stream",
+    "plan_chunks",
+    "stream_stats",
     "DesignSpaceExplorer",
     "ExplorationResult",
     "ConeCharacterization",

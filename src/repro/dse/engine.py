@@ -67,13 +67,16 @@ def shared_table_stats() -> Dict[str, Optional[int]]:
     make that reuse observable — the service tier reports them under
     ``stats()["shared_table"]``, where ``hits`` growing while ``entries``
     stays flat is the signature of a burst re-costing one cached table
-    instead of re-enumerating per job.
+    instead of re-enumerating per job.  The cache is a small bounded LRU
+    (tables over huge spaces are tens of MB), so ``evictions`` counts how
+    often a distinct shape-knob set pushed an old table out of RAM.
     """
     from repro.architecture.enumeration import _space_table_cached
 
     info = _space_table_cached.cache_info()
     return {"hits": info.hits, "misses": info.misses,
-            "entries": info.currsize, "capacity": info.maxsize}
+            "entries": info.currsize, "capacity": info.maxsize,
+            "evictions": _space_table_cached.evictions}
 
 
 def supports_columnar(throughput_model: object) -> bool:

@@ -21,6 +21,8 @@ from repro.dse.constraints import DseConstraints
 from repro.dse.design_point import DesignPoint
 from repro.dse.engine import explore_columnar, supports_columnar
 from repro.dse.pareto import pareto_front
+from repro.dse.stream import (DEFAULT_CHUNK_ROWS, STREAM_AUTO_THRESHOLD,
+                              explore_stream)
 from repro.estimation.area_model import (
     AreaModelValidation,
     CalibrationPoint,
@@ -115,6 +117,11 @@ class ExplorationResult:
     synthesis_runs_avoided: int
     tool_runtime_spent_s: float
     tool_runtime_avoided_s: float
+    #: Streaming-evaluation metadata (chunking, pushdown, mask-cache
+    #: counters) when the exploration ran out-of-core; ``None`` on the
+    #: in-memory paths.  When set, ``design_points`` holds only the
+    #: frontier members (the streamed space was never materialized).
+    streaming: Optional[Dict[str, object]] = None
 
     def characterization(self, window_side: int, depth: int) -> ConeCharacterization:
         return self.characterizations[(window_side, depth)]
@@ -165,6 +172,10 @@ class ExplorationResult:
             "synthesis_runs_avoided": self.synthesis_runs_avoided,
             "tool_runtime_spent_s": self.tool_runtime_spent_s,
             "tool_runtime_avoided_s": self.tool_runtime_avoided_s,
+            # emitted only for streamed explorations, so in-memory results
+            # keep their historical serialization byte for byte
+            **({} if self.streaming is None
+               else {"streaming": dict(self.streaming)}),
         }
 
     @classmethod
@@ -195,6 +206,7 @@ class ExplorationResult:
             synthesis_runs_avoided=data["synthesis_runs_avoided"],
             tool_runtime_spent_s=data["tool_runtime_spent_s"],
             tool_runtime_avoided_s=data["tool_runtime_avoided_s"],
+            streaming=data.get("streaming"),
         )
 
 
@@ -429,7 +441,9 @@ class DesignSpaceExplorer:
     def explore(self, total_iterations: int, frame_width: int, frame_height: int,
                 constraints: Optional[DseConstraints] = None,
                 onchip_port_elements_per_cycle: Optional[int] = None,
-                *, columnar: Optional[bool] = None) -> ExplorationResult:
+                *, columnar: Optional[bool] = None,
+                stream: Optional[bool] = None,
+                chunk_rows: Optional[int] = None) -> ExplorationResult:
         """Run the full exploration and return design points plus the Pareto set.
 
         ``onchip_port_elements_per_cycle`` overrides the constructor default
@@ -443,6 +457,16 @@ class DesignSpaceExplorer:
         and falls back to the per-point scalar loop otherwise (e.g. a
         registry backend that overrides ``evaluate``).  ``columnar``
         forces the choice; both paths produce byte-identical results.
+
+        ``stream`` selects the out-of-core chunked evaluation
+        (:mod:`repro.dse.stream`): ``None`` (the default) auto-streams
+        columnar-capable spaces of at least ``STREAM_AUTO_THRESHOLD``
+        candidates, ``True``/``False`` force it on or off.  A streamed
+        result carries the identical Pareto frontier, but materializes
+        *only* the frontier as design points (``result.design_points is
+        result.pareto`` members) and records chunking/pushdown metadata
+        under ``result.streaming``.  ``chunk_rows`` bounds the rows
+        materialized per chunk.
         """
         characterizations, validations = self.characterize_cones(total_iterations)
         space = self._space(total_iterations)
@@ -459,9 +483,39 @@ class DesignSpaceExplorer:
             )
 
         usable_luts = self.device.usable_capacity.luts
-        if columnar is None:
-            columnar = supports_columnar(throughput_model)
-        if columnar:
+        streamable = supports_columnar(throughput_model)
+        if stream is None:
+            # auto: stream huge spaces (size() is O(1)) unless the caller
+            # forced the scalar loop (columnar=False), which has no
+            # streaming twin
+            stream = (streamable and columnar is not False
+                      and space.size() >= STREAM_AUTO_THRESHOLD)
+        streaming_meta: Optional[Dict[str, object]] = None
+        if stream:
+            if not streamable:
+                raise ValueError(
+                    "streaming exploration requires a columnar-capable "
+                    "throughput backend (this one overrides the stock "
+                    "batch/evaluate hooks); run with stream=False")
+            evaluation = explore_stream(
+                space, characterizations, throughput_model,
+                frame_width, frame_height, constraints, usable_luts,
+                chunk_rows=chunk_rows or DEFAULT_CHUNK_ROWS)
+            design_points = list(evaluation.pareto)
+            pareto = evaluation.pareto
+            streaming_meta = {
+                "chunk_rows": evaluation.chunk_rows,
+                "space_rows": evaluation.space_rows,
+                "admitted_rows": evaluation.admitted_rows,
+                "pruned_rows": evaluation.pruned_rows,
+                "pruned_fraction": evaluation.pruned_fraction,
+                "chunks_total": evaluation.chunks_total,
+                "chunks_skipped": evaluation.chunks_skipped,
+                "peak_chunk_rows": evaluation.peak_chunk_rows,
+                "frontier_peak": evaluation.frontier_peak,
+                "mask_cache_hit": evaluation.mask_cache_hit,
+            }
+        elif streamable if columnar is None else columnar:
             evaluation = explore_columnar(
                 space, characterizations, throughput_model,
                 frame_width, frame_height, constraints, usable_luts)
@@ -498,6 +552,7 @@ class DesignSpaceExplorer:
             synthesis_runs_avoided=runs_avoided,
             tool_runtime_spent_s=runtime_spent,
             tool_runtime_avoided_s=avoided_runtime,
+            streaming=streaming_meta,
         )
 
     def explore_scalar(self, total_iterations: int, frame_width: int,

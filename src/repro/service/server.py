@@ -51,6 +51,7 @@ from repro.api.session import Session, SessionEvent, _defensive_copy
 from repro.api.store import ArtifactStore
 from repro.api.workload import Workload
 from repro.dse.engine import shared_table_stats
+from repro.dse.stream import stream_stats
 from repro.service.jobs import (
     AdmissionDeniedError,
     JobCancelledError,
@@ -291,6 +292,10 @@ class ReproServer:
             "store": (None if store is None
                       else {"root": store.root, **store.counters()}),
             "shared_table": shared_table_stats(),
+            # mask-cache counters of the out-of-core streaming engine:
+            # hits growing across jobs = incremental re-explores reusing
+            # pushdown analysis, re-costing only throughput columns
+            "stream": stream_stats(),
         }
 
     def healthz(self) -> Dict[str, Any]:

@@ -3,10 +3,14 @@
 import pytest
 
 from repro.architecture.enumeration import (
+    TABLE_CACHE_CAPACITY,
     ArchitectureSpace,
+    _space_table_cached,
+    count_level_splits,
     enumerate_architectures,
     enumerate_level_splits,
     single_depth_split,
+    space_table,
 )
 
 
@@ -83,3 +87,104 @@ class TestArchitectureSpace:
                                                 max_cones_per_depth=2)
         assert all(a.window_side == 3 for a in architectures)
         assert len(architectures) == 4
+
+
+class TestCountLevelSplits:
+    """O(1)/DP counting must agree with the materializing enumeration."""
+
+    @pytest.mark.parametrize("uniform_only", [True, False])
+    def test_matches_enumeration(self, uniform_only):
+        for total in range(1, 9):
+            for max_depth in [None] + list(range(1, total + 2)):
+                expected = len(enumerate_level_splits(
+                    total, max_depth, uniform_only))
+                assert count_level_splits(
+                    total, max_depth, uniform_only) == expected
+
+    def test_counts_a_space_too_large_to_enumerate(self):
+        # 10^4 compositions would be fine, 10 iterations uniform is 10;
+        # the point is that huge uniform spaces stay O(1).
+        assert count_level_splits(10**6, max_depth=5) == 5
+        assert count_level_splits(10**6) == 10**6
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            count_level_splits(0)
+
+
+class TestConstantTimeSize:
+    def make_space(self, **overrides):
+        kwargs = dict(kernel_name="blur", total_iterations=10, radius=1,
+                      window_sides=(2, 4), max_depth=3, max_cones_per_depth=4)
+        kwargs.update(overrides)
+        return ArchitectureSpace(**kwargs)
+
+    def test_size_matches_enumeration_across_knobs(self):
+        for max_depth in (1, 3, None):
+            for uniform in (True, False) if max_depth == 3 else (True,):
+                space = self.make_space(max_depth=max_depth,
+                                        uniform_levels_only=uniform)
+                assert space.size() == len(list(space.architectures()))
+
+    def test_size_with_count_choices(self):
+        space = self.make_space()
+        choices = [1, 3]
+        assert space.size(choices) == len(
+            list(space.architectures(cone_count_choices=choices)))
+
+    def test_million_candidate_size_without_materialization(self):
+        space = self.make_space(window_sides=tuple(range(1, 10)),
+                                max_depth=5, max_cones_per_depth=23_000)
+        assert space.size() == 9 * 5 * 23_000  # > 10^6, computed instantly
+
+
+class TestBoundedTableCache:
+    def setup_method(self):
+        _space_table_cached.cache_clear()
+
+    def teardown_method(self):
+        _space_table_cached.cache_clear()
+
+    def make_space(self, iterations):
+        return ArchitectureSpace(kernel_name="blur",
+                                 total_iterations=iterations, radius=1,
+                                 window_sides=(2,), max_depth=2,
+                                 max_cones_per_depth=2)
+
+    def test_hits_and_misses_are_counted(self):
+        space = self.make_space(6)
+        first = space_table(space)
+        second = space_table(space)
+        assert first is second
+        info = _space_table_cached.cache_info()
+        assert info.hits == 1 and info.misses == 1 and info.currsize == 1
+        assert info.maxsize == TABLE_CACHE_CAPACITY
+
+    def test_capacity_is_enforced_with_lru_eviction(self):
+        tables = [space_table(self.make_space(i))
+                  for i in range(2, TABLE_CACHE_CAPACITY + 3)]
+        info = _space_table_cached.cache_info()
+        assert info.currsize == TABLE_CACHE_CAPACITY
+        assert _space_table_cached.evictions == len(tables) - TABLE_CACHE_CAPACITY
+        # the oldest entry was evicted: re-requesting it is a miss...
+        misses_before = info.misses
+        rebuilt = space_table(self.make_space(2))
+        assert _space_table_cached.cache_info().misses == misses_before + 1
+        assert rebuilt is not tables[0]
+        # ...while the newest is still a hit
+        assert space_table(self.make_space(TABLE_CACHE_CAPACITY + 2)) is tables[-1]
+
+    def test_recent_use_protects_an_entry(self):
+        keep = space_table(self.make_space(2))
+        for i in range(3, TABLE_CACHE_CAPACITY + 2):
+            space_table(self.make_space(i))
+        space_table(self.make_space(2))           # refresh recency
+        space_table(self.make_space(TABLE_CACHE_CAPACITY + 2))  # evicts i=3
+        assert space_table(self.make_space(2)) is keep
+
+    def test_clear_resets_counters(self):
+        space_table(self.make_space(6))
+        _space_table_cached.cache_clear()
+        info = _space_table_cached.cache_info()
+        assert (info.hits, info.misses, info.currsize) == (0, 0, 0)
+        assert _space_table_cached.evictions == 0

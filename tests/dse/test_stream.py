@@ -1,0 +1,306 @@
+"""Tests for the out-of-core chunked exploration engine (ISSUE 7 tentpole).
+
+The headline property: whatever the chunk size {1 row, group-sized, the
+whole space} and whatever the chunk order, ``explore_stream`` produces the
+identical Pareto frontier — same global rows, byte-identical serialized
+design points — and the identical ``pruned_rows`` count as the columnar
+oracle ``explore_columnar``.
+"""
+
+import json
+import random
+
+import numpy as np
+import pytest
+
+from repro.dse.constraints import DseConstraints
+from repro.dse.engine import explore_columnar
+from repro.dse.explorer import DesignSpaceExplorer, ExplorationResult
+from repro.dse.stream import (
+    DEFAULT_CHUNK_ROWS,
+    SpaceChunk,
+    StreamingFrontier,
+    clear_stream_caches,
+    explore_stream,
+    plan_chunks,
+    stream_stats,
+)
+from repro.estimation.throughput_model import ThroughputModel
+from repro.ir.operators import DataFormat
+
+
+def small_explorer(kernel, **overrides):
+    keywords = dict(data_format=DataFormat.FIXED16,
+                    window_sides=(1, 2, 3, 4), max_depth=3,
+                    max_cones_per_depth=6, synthesize_all=True)
+    keywords.update(overrides)
+    return DesignSpaceExplorer(kernel, **keywords)
+
+
+def serialized_points(points):
+    return json.dumps([p.to_dict() for p in points], sort_keys=True)
+
+
+@pytest.fixture(autouse=True)
+def fresh_mask_cache():
+    clear_stream_caches()
+    yield
+    clear_stream_caches()
+
+
+@pytest.fixture
+def evaluation_inputs(igf_kernel):
+    explorer = small_explorer(igf_kernel)
+    characterizations, _ = explorer.characterize_cones(6)
+    space = explorer._space(6)
+    usable = explorer.device.usable_capacity.luts
+    return explorer, space, characterizations, usable
+
+
+def constraint_grid(baseline):
+    areas = sorted(baseline.area_luts.tolist())
+    return [
+        None,
+        DseConstraints(device_only=True),
+        DseConstraints(max_area_luts=areas[len(areas) // 2],
+                       min_frames_per_second=1.0, device_only=True),
+    ]
+
+
+class TestDigestIdentity:
+    def test_identical_to_columnar_across_chunk_sizes_and_orders(
+            self, evaluation_inputs):
+        explorer, space, characterizations, usable = evaluation_inputs
+        baseline = explore_columnar(space, characterizations,
+                                    explorer.throughput_model, 128, 96)
+        group_rows = space.max_cones_per_depth
+        for constraints in constraint_grid(baseline):
+            oracle = explore_columnar(
+                space, characterizations, explorer.throughput_model,
+                128, 96, constraints, usable, materialize="frontier")
+            oracle_rows = oracle.row_index[oracle.pareto_index]
+            oracle_digest = serialized_points(oracle.pareto)
+            for chunk_rows in (1, group_rows, space.size()):
+                for seed in (None, 7, 23):
+                    order = None
+                    if seed is not None:
+                        order = list(range(len(plan_chunks(space,
+                                                           chunk_rows))))
+                        random.Random(seed).shuffle(order)
+                    streamed = explore_stream(
+                        space, characterizations, explorer.throughput_model,
+                        128, 96, constraints, usable,
+                        chunk_rows=chunk_rows, chunk_order=order)
+                    assert np.array_equal(streamed.pareto_row_index,
+                                          oracle_rows)
+                    assert (serialized_points(streamed.pareto)
+                            == oracle_digest)
+                    assert streamed.pruned_rows == oracle.pruned_rows
+                    assert streamed.admitted_rows == oracle.admitted_rows
+
+    def test_peak_chunk_never_exceeds_the_bound(self, evaluation_inputs):
+        explorer, space, characterizations, usable = evaluation_inputs
+        streamed = explore_stream(space, characterizations,
+                                  explorer.throughput_model, 128, 96,
+                                  usable_luts=usable, chunk_rows=4)
+        assert 0 < streamed.peak_chunk_rows <= 4
+        assert streamed.chunks_total == len(plan_chunks(space, 4))
+
+
+class TestConstraintPushdown:
+    def test_pruned_rows_match_engine_and_skip_materialization(
+            self, evaluation_inputs):
+        explorer, space, characterizations, usable = evaluation_inputs
+        baseline = explore_columnar(space, characterizations,
+                                    explorer.throughput_model, 128, 96)
+        cutoff = float(np.median(baseline.area_luts))
+        constraints = DseConstraints(max_area_luts=cutoff)
+        oracle = explore_columnar(space, characterizations,
+                                  explorer.throughput_model, 128, 96,
+                                  constraints, usable)
+        streamed = explore_stream(space, characterizations,
+                                  explorer.throughput_model, 128, 96,
+                                  constraints, usable, chunk_rows=2)
+        assert streamed.pruned_rows == oracle.pruned_rows > 0
+        # whole chunks beyond the admitted prefix were never materialized
+        assert streamed.chunks_skipped > 0
+        assert (streamed.admitted_rows + streamed.pruned_rows
+                == baseline.admitted_rows)
+
+    def test_min_fps_is_filtered_after_costing_not_pruned(
+            self, evaluation_inputs):
+        explorer, space, characterizations, usable = evaluation_inputs
+        constraints = DseConstraints(min_frames_per_second=1e12)
+        streamed = explore_stream(space, characterizations,
+                                  explorer.throughput_model, 128, 96,
+                                  constraints, usable)
+        assert streamed.pruned_rows == 0      # throughput is a run knob
+        assert streamed.admitted_rows == 0    # nothing survives the filter
+        assert streamed.pareto == []
+
+
+class TestMaskCache:
+    def test_frame_change_reuses_masks(self, evaluation_inputs):
+        explorer, space, characterizations, usable = evaluation_inputs
+        constraints = DseConstraints(device_only=True)
+        first = explore_stream(space, characterizations,
+                               explorer.throughput_model, 128, 96,
+                               constraints, usable)
+        second = explore_stream(space, characterizations,
+                                explorer.throughput_model, 640, 480,
+                                constraints, usable)
+        assert not first.mask_cache_hit
+        assert second.mask_cache_hit
+        stats = stream_stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        # the reused run is still digest-identical to its own oracle
+        oracle = explore_columnar(space, characterizations,
+                                  explorer.throughput_model, 640, 480,
+                                  constraints, usable,
+                                  materialize="frontier")
+        assert (serialized_points(second.pareto)
+                == serialized_points(oracle.pareto))
+
+    def test_area_constraint_change_recomputes(self, evaluation_inputs):
+        explorer, space, characterizations, usable = evaluation_inputs
+        explore_stream(space, characterizations, explorer.throughput_model,
+                       128, 96, DseConstraints(device_only=True), usable)
+        tightened = explore_stream(
+            space, characterizations, explorer.throughput_model, 128, 96,
+            DseConstraints(device_only=True, max_area_luts=50_000.0), usable)
+        assert not tightened.mask_cache_hit
+
+    def test_cache_can_be_disabled(self, evaluation_inputs):
+        explorer, space, characterizations, usable = evaluation_inputs
+        for _ in range(2):
+            streamed = explore_stream(space, characterizations,
+                                      explorer.throughput_model, 128, 96,
+                                      usable_luts=usable,
+                                      use_mask_cache=False)
+            assert not streamed.mask_cache_hit
+        assert stream_stats()["entries"] == 0
+
+
+class TestTopK:
+    def test_top_points_are_the_k_fastest_admitted(self, evaluation_inputs):
+        explorer, space, characterizations, usable = evaluation_inputs
+        oracle = explore_columnar(space, characterizations,
+                                  explorer.throughput_model, 128, 96,
+                                  usable_luts=usable)
+        k = 5
+        streamed = explore_stream(space, characterizations,
+                                  explorer.throughput_model, 128, 96,
+                                  usable_luts=usable, chunk_rows=3, top_k=k)
+        expected = np.lexsort((oracle.row_index, oracle.area_luts,
+                               oracle.seconds_per_frame))[:k]
+        expected_times = oracle.seconds_per_frame[expected]
+        got_times = [p.seconds_per_frame for p in streamed.top_points]
+        assert got_times == expected_times.tolist()
+        assert len(streamed.top_points) == k
+
+
+class TestChunkPlanning:
+    def test_chunks_cover_the_space_exactly_once(self, evaluation_inputs):
+        _, space, _, _ = evaluation_inputs
+        for chunk_rows in (1, 4, 1000):
+            chunks = plan_chunks(space, chunk_rows)
+            rows = sorted(row
+                          for chunk in chunks
+                          for row in range(chunk.base_row + chunk.count_start,
+                                           chunk.base_row + chunk.count_stop))
+            assert rows == list(range(space.size()))
+            assert all(chunk.rows <= chunk_rows for chunk in chunks)
+
+    def test_counts_are_dtype_tightened(self):
+        chunk = SpaceChunk(window=1, window_index=0, split=(1,),
+                           split_index=0, base_row=0, count_start=2,
+                           count_stop=5)
+        counts = chunk.counts()
+        assert counts.dtype == np.int32
+        assert counts.tolist() == [3, 4, 5]
+
+    def test_invalid_arguments_rejected(self, evaluation_inputs):
+        explorer, space, characterizations, usable = evaluation_inputs
+        with pytest.raises(ValueError, match="chunk_rows"):
+            plan_chunks(space, 0)
+        with pytest.raises(ValueError, match="permutation"):
+            explore_stream(space, characterizations,
+                           explorer.throughput_model, 128, 96,
+                           usable_luts=usable, chunk_order=[0, 0, 1])
+
+
+class TestExplorerIntegration:
+    def test_stream_true_matches_columnar_pareto(self, igf_kernel):
+        explorer = small_explorer(igf_kernel)
+        streamed = explorer.explore(6, 128, 96, stream=True, chunk_rows=4)
+        columnar = explorer.explore(6, 128, 96)
+        assert (serialized_points(streamed.pareto)
+                == serialized_points(columnar.pareto))
+        assert streamed.streaming is not None
+        assert streamed.streaming["chunk_rows"] == 4
+        assert columnar.streaming is None
+        # streamed results materialize only the frontier
+        assert streamed.design_points == streamed.pareto
+        payload = streamed.to_dict()
+        assert all(isinstance(entry, int) for entry in payload["pareto"])
+
+    def test_streaming_result_round_trips_through_json(self, igf_kernel):
+        explorer = small_explorer(igf_kernel)
+        streamed = explorer.explore(6, 128, 96, stream=True)
+        restored = ExplorationResult.from_dict(
+            json.loads(json.dumps(streamed.to_dict())))
+        assert restored.streaming == streamed.streaming
+        assert (serialized_points(restored.pareto)
+                == serialized_points(streamed.pareto))
+
+    def test_auto_select_streams_above_the_threshold(self, igf_kernel,
+                                                     monkeypatch):
+        import repro.dse.explorer as explorer_module
+        explorer = small_explorer(igf_kernel)
+        monkeypatch.setattr(explorer_module, "STREAM_AUTO_THRESHOLD", 10)
+        auto = explorer.explore(6, 128, 96)
+        assert auto.streaming is not None
+        monkeypatch.setattr(explorer_module, "STREAM_AUTO_THRESHOLD",
+                            10**9)
+        in_memory = explorer.explore(6, 128, 96)
+        assert in_memory.streaming is None
+        assert (serialized_points(auto.pareto)
+                == serialized_points(in_memory.pareto))
+
+    def test_explore_scalar_never_auto_streams(self, igf_kernel,
+                                               monkeypatch):
+        import repro.dse.explorer as explorer_module
+        monkeypatch.setattr(explorer_module, "STREAM_AUTO_THRESHOLD", 1)
+        explorer = small_explorer(igf_kernel)
+        result = explorer.explore_scalar(6, 128, 96)
+        assert result.streaming is None
+
+    def test_stream_requires_columnar_capable_backend(self, igf_kernel):
+        class ScalarOnly(ThroughputModel):
+            def evaluate(self, *args, **kwargs):
+                return super().evaluate(*args, **kwargs)
+
+        explorer = small_explorer(igf_kernel,
+                                  throughput_model_factory=ScalarOnly)
+        with pytest.raises(ValueError, match="columnar-capable"):
+            explorer.explore(6, 128, 96, stream=True)
+        # and auto-select quietly stays on the scalar path
+        result = explorer.explore(6, 128, 96)
+        assert result.streaming is None
+
+
+class TestFrontierStateBound:
+    def test_state_is_bounded_by_the_frontier_not_the_space(
+            self, evaluation_inputs):
+        explorer, space, characterizations, usable = evaluation_inputs
+        streamed = explore_stream(space, characterizations,
+                                  explorer.throughput_model, 128, 96,
+                                  usable_luts=usable, chunk_rows=1)
+        assert streamed.frontier_peak < space.size()
+        assert streamed.frontier_peak >= len(streamed.pareto)
+
+    def test_incremental_updates_accept_empty_chunks(self):
+        frontier = StreamingFrontier()
+        frontier.update(np.empty(0), np.empty(0),
+                        np.empty(0, dtype=np.int64))
+        assert len(frontier) == 0
