@@ -267,6 +267,18 @@ def main() -> None:
           f"pruned before costing, frontier never held more than "
           f"{meta['frontier_peak']} points "
           f"({len(streamed.pareto)} final Pareto points)")
+    print()
+
+    # 11. validation: simulate the cone pipeline on real frames and compare
+    #     against the golden whole-frame model.  Interior pixels (those
+    #     whose dependency cone never touches the frame border) must match
+    #     exactly; the result also re-checks the vectorized simulator
+    #     against its preserved scalar oracle.  The same evidence is
+    #     available as a service job class: client.submit(w, job="validate")
+    #     or `python -m repro validate blur --frames 640x480`.
+    report = session.validate(
+        workload.replace(frame_width=640, frame_height=480, iterations=6))
+    print(f"validation: {report.summary()}")
 
 
 if __name__ == "__main__":

@@ -48,6 +48,12 @@ burst through a 3-worker consistent-hash fleet (:mod:`repro.fleet`) with
 deliberately tight per-worker queues, recording jobs/s, the shed count,
 and the placement distribution the hash ring produced.
 
+And a ``simulation_throughput`` section (skip with ``--skip-sim``): a
+640x480 blur frame pushed through the vectorized
+:class:`repro.simulation.FunctionalConeSimulator` and through the
+preserved scalar tile loop, with pixels/s for both paths, the speedup,
+and a digest check proving the two produce bit-identical output frames.
+
 Each module entry aggregates the wall time and synthesis-run count of the
 workload(s) it draws on; workload wall times are per-workload session
 latencies, so under a threaded batch their sum can exceed the batch wall
@@ -412,6 +418,78 @@ def run_fleet_throughput() -> dict:
     }
 
 
+def run_simulation_throughput(height=480, width=640, iterations=6,
+                              window_side=6, repeats=3) -> dict:
+    """Time the vectorized simulator against the preserved scalar tile loop.
+
+    One VGA blur frame (the paper's IGF kernel) runs through
+    ``FunctionalConeSimulator.run`` and through ``run_scalar`` in region
+    mode.  Cone expressions are built once up
+    front and shared, so the timings isolate tile evaluation — the phase
+    the vectorized path turns into whole-array NumPy ops.  Each path is
+    timed ``repeats`` times and the best wall is recorded; the digest
+    check asserts the headline guarantee that both paths produce
+    bit-identical frames.
+    """
+    import hashlib
+
+    from repro.algorithms.registry import get_algorithm
+    from repro.simulation import FrameSet, FunctionalConeSimulator
+
+    kernel = get_algorithm("blur").kernel()
+    simulator = FunctionalConeSimulator(kernel)
+    frames = FrameSet.for_kernel(kernel, height, width, seed=0)
+    simulator._cone(window_side, iterations)  # shared, not timed
+
+    def digest(result):
+        payload = hashlib.sha256()
+        for name in sorted(result.names()):
+            payload.update(result[name].data.tobytes())
+        return payload.hexdigest()
+
+    def best_wall(simulate):
+        wall, digests = float("inf"), set()
+        for _ in range(repeats):
+            started = time.perf_counter()
+            result = simulate()
+            wall = min(wall, time.perf_counter() - started)
+            digests.add(digest(result))
+        return wall, digests
+
+    vector_wall, vector_digests = best_wall(
+        lambda: simulator.run(frames, iterations, window_side, mode="region"))
+    scalar_wall, scalar_digests = best_wall(
+        lambda: simulator.run_scalar(frames, iterations, window_side,
+                                     mode="region"))
+
+    identical = vector_digests == scalar_digests and len(vector_digests) == 1
+    speedup = scalar_wall / vector_wall if vector_wall > 0 else None
+    pixels = height * width
+    if not identical:
+        print("  WARNING: vectorized and scalar simulations disagreed!",
+              file=sys.stderr)
+    print(f"    scalar      {scalar_wall * 1e3:8.2f} ms "
+          f"({pixels / scalar_wall:,.0f} px/s)")
+    print(f"    vectorized  {vector_wall * 1e3:8.2f} ms "
+          f"({pixels / vector_wall:,.0f} px/s, {speedup:.2f}x, "
+          f"identical results: {identical})")
+    return {
+        "kernel": kernel.name,
+        "frame": [width, height],
+        "iterations": iterations,
+        "window_side": window_side,
+        "mode": "region",
+        "repeats": repeats,
+        "scalar_wall_s": scalar_wall,
+        "vectorized_wall_s": vector_wall,
+        "scalar_pixels_per_s": pixels / scalar_wall,
+        "vectorized_pixels_per_s": pixels / vector_wall,
+        "speedup": speedup,
+        "result_digest": sorted(vector_digests)[0],
+        "results_identical": identical,
+    }
+
+
 def run_large_space(max_cones=23_000, rss_ceiling_mb=512.0) -> dict:
     """Stream a million-candidate space out of core and record the cost.
 
@@ -506,6 +584,10 @@ def main(argv=None) -> int:
     parser.add_argument("--skip-fleet", action="store_true",
                         help="skip the fleet throughput burst (jobs/s, "
                              "shed count, placement distribution)")
+    parser.add_argument("--skip-sim", action="store_true",
+                        help="skip the vectorized-vs-scalar simulation "
+                             "throughput benchmark (pixels/s, speedup, "
+                             "digest identity)")
     parser.add_argument("--skip-large-space", action="store_true",
                         help="skip the million-candidate out-of-core "
                              "streaming benchmark (candidates/s, peak "
@@ -588,6 +670,15 @@ def main(argv=None) -> int:
         print("running the large-space streaming benchmark "
               "(1,035,000-candidate blur space, fresh subprocess)...")
         snapshot["large_space"] = run_large_space()
+
+    # Runs after the large-space section on purpose: the subprocess behind
+    # that section inherits this process's resident set at fork time, so
+    # the big frame arrays this benchmark touches would otherwise taint its
+    # peak-RSS measurement.
+    if not args.skip_sim:
+        print("running the simulation throughput benchmark "
+              "(640x480 blur, vectorized vs scalar tile loop)...")
+        snapshot["simulation_throughput"] = run_simulation_throughput()
 
     if args.pytest:
         print("running the pytest benchmark suite...")

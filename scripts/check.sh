@@ -22,6 +22,11 @@
 #                               # and assert streamed results are digest-
 #                               # identical to explore_columnar on the
 #                               # paper-scale subspace
+#   scripts/check.sh --sim      # simulation tier: the vectorized-vs-scalar
+#                               # differential suite plus the frame/golden
+#                               # boundary-contract regressions, with a
+#                               # wall-clock budget so the Hypothesis suite
+#                               # can't silently balloon
 #   scripts/check.sh -k store   # extra args are passed through to pytest
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -64,8 +69,42 @@ print(f"engine import guard ok ({len(sys.modules)} modules, "
 PYEOF
 }
 
-# The guard is cheap, so every mode runs it (CI's flagless invocation too).
+check_simulation_imports() {
+    # Same deployment-footprint rule for the simulation/validation layer:
+    # it backs the `validate` job class in production services, so it must
+    # import with nothing beyond NumPy + the stdlib.
+    python - <<'PYEOF'
+import builtins
+import sys
+
+sys.path.insert(0, "src")
+BLOCKED = ("hypothesis", "pytest", "matplotlib", "pandas", "scipy", "yaml")
+real_import = builtins.__import__
+
+
+def guarded(name, *args, **kwargs):
+    root = name.split(".")[0]
+    if root in BLOCKED:
+        raise SystemExit(
+            f"error: repro.simulation pulled optional dependency {root!r} "
+            f"into its import closure (only NumPy + stdlib are allowed)")
+    return real_import(name, *args, **kwargs)
+
+
+builtins.__import__ = guarded
+import repro.simulation  # noqa: F401  (the guard is the side effect)
+import repro.simulation.validation  # noqa: F401  (validate job backend)
+
+non_stdlib = [name for name in BLOCKED if name in sys.modules]
+assert not non_stdlib, non_stdlib
+print(f"simulation import guard ok ({len(sys.modules)} modules, "
+      f"numpy {sys.modules['numpy'].__version__})")
+PYEOF
+}
+
+# The guards are cheap, so every mode runs them (CI's flagless invocation too).
 check_engine_imports
+check_simulation_imports
 
 PYTEST_ARGS=(-x -q)
 case "${1:-}" in
@@ -93,6 +132,24 @@ case "${1:-}" in
     # A fresh process so ru_maxrss measures the streaming run alone.
     python scripts/large_smoke.py "$@"
     exit $?
+    ;;
+--sim)
+    shift
+    python -m compileall -q src
+    # Budgeted differential run: the property suite is the bit-identity
+    # oracle for every vectorized path, and it must stay fast enough to run
+    # on every push.  `timeout` turns a runaway Hypothesis search into a
+    # hard failure instead of a stalled CI job.
+    sim_status=0
+    timeout 300 env PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+        python -m pytest -x -q \
+        tests/property/test_simulator_differential.py \
+        tests/simulation/test_frame_and_golden.py \
+        tests/service/test_validate_job.py "$@" || sim_status=$?
+    if [ "$sim_status" -eq 124 ]; then
+        echo "error: simulation tier exceeded its 300s wall-clock budget" >&2
+    fi
+    exit "$sim_status"
     ;;
 --par)
     shift

@@ -57,7 +57,7 @@ from repro.api.registry import (
     resolve_device,
     unregister_backend,
 )
-from repro.api.results import FlowOptions, FlowResult
+from repro.api.results import FlowOptions, FlowResult, ValidationResult
 from repro.api.store import (
     ArtifactStore,
     CharacterizationStoreAdapter,
@@ -89,6 +89,7 @@ from repro.api.session import (
 __all__ = [
     "FlowOptions",
     "FlowResult",
+    "ValidationResult",
     "Workload",
     "Pipeline",
     "PipelineError",

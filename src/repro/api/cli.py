@@ -21,6 +21,13 @@ Subcommands
     (:mod:`repro.dse.engine`): the enumerated candidate space depends only
     on the shape knobs, so it is materialized once and re-costed per
     scenario instead of re-enumerated per workload.
+``validate``
+    Simulate the cone architecture on the workload's frame geometry and
+    check it against the software golden model (``python -m repro
+    validate blur --frames 640x480``): prints the equivalence evidence
+    (interior max error, per-field digests, scalar-oracle bit-identity)
+    and exits non-zero on a mismatch.  Also available service-side as
+    ``submit --job validate``.
 ``cache``
     Inspect (``stats``), empty (``clear``), or dump (``export``) a
     persistent artifact store directory.
@@ -282,6 +289,22 @@ def build_parser() -> argparse.ArgumentParser:
                             f"{default_store_path()})")
     fleet.set_defaults(handler=cmd_fleet)
 
+    validate = commands.add_parser(
+        "validate", help="simulate one workload and check it against the "
+                         "golden model")
+    _add_workload_arguments(validate)
+    validate.add_argument("--window", type=int, default=None, metavar="W",
+                          help="cone window side to simulate "
+                               "(default: the workload's largest)")
+    validate.add_argument("--mode", default="region",
+                          choices=["region", "expression"],
+                          help="cone evaluation mode (default: region)")
+    validate.add_argument("--json", action="store_true",
+                          help="emit the full ValidationResult as JSON")
+    validate.add_argument("-o", "--output", metavar="FILE",
+                          help="write the JSON payload to FILE")
+    validate.set_defaults(handler=cmd_validate)
+
     submit = commands.add_parser(
         "submit", help="submit one workload to a running service")
     _add_workload_arguments(submit, include_store=False)
@@ -294,6 +317,11 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--priority", default="batch",
                         choices=["interactive", "batch", "background"],
                         help="priority class (default: batch)")
+    submit.add_argument("--job", default="explore",
+                        choices=["explore", "validate"],
+                        help="job class: explore the design space "
+                             "(default) or validate the simulated "
+                             "architecture against the golden model")
     submit.add_argument("--role", default=None, metavar="ROLE",
                         help="requester role for fleet admission control "
                              "(default: the router's default role)")
@@ -348,7 +376,8 @@ def _add_workload_arguments(parser: argparse.ArgumentParser,
                             include_store: bool = True) -> None:
     parser.add_argument("algorithm", help="registry algorithm name "
                                           "(see `python -m repro list`)")
-    parser.add_argument("--frame", default=_FRAME, metavar="WxH",
+    parser.add_argument("--frame", "--frames", dest="frame", default=_FRAME,
+                        metavar="WxH",
                         help=f"frame size (default: {_FRAME})")
     parser.add_argument("--iterations", type=int, default=None,
                         help="total iteration count "
@@ -766,7 +795,20 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_validate(args: argparse.Namespace) -> int:
+    workload = workload_from_args(args)
+    session = _session(args)
+    result = session.validate(workload, window_side=args.window,
+                              mode=args.mode)
+    if args.json or args.output:
+        _write_payload(result.to_dict(), args)
+    else:
+        print(result.summary())
+    return 0 if result.passed else 1
+
+
 def cmd_submit(args: argparse.Namespace) -> int:
+    from repro.api.results import ValidationResult
     from repro.service.client import ReproClient
     from repro.service.jobs import ServiceError
 
@@ -774,7 +816,8 @@ def cmd_submit(args: argparse.Namespace) -> int:
     client = ReproClient(args.fleet or args.server, retries=args.retries)
     try:
         handle = client.submit(workload, priority=args.priority,
-                               timeout_s=args.timeout, role=args.role)
+                               timeout_s=args.timeout, role=args.role,
+                               job=args.job)
         if args.no_wait:
             print(handle.id)
             return 0
@@ -785,6 +828,9 @@ def cmd_submit(args: argparse.Namespace) -> int:
     if args.json or args.output:
         _write_payload(result.to_dict(), args)
         return 0
+    if isinstance(result, ValidationResult):
+        print(result.summary())
+        return 0 if result.passed else 1
     from repro.flow.report import flow_summary, pareto_table
     print(flow_summary(result.exploration))
     print()

@@ -19,6 +19,10 @@ from repro.ir.operators import DataFormat
 from repro.symbolic.invariance import InvarianceReport
 from repro.synth.fpga_device import FpgaDevice, VIRTEX6_XC6VLX760
 
+# The validate job class returns simulation-layer evidence; re-exported here
+# so API consumers can type/parse results without importing repro.simulation.
+from repro.simulation.validation import ValidationResult  # noqa: F401
+
 
 @dataclass(frozen=True)
 class FlowOptions:

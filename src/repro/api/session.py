@@ -40,6 +40,7 @@ from repro.api.store import ArtifactStore, CharacterizationStoreAdapter
 from repro.api.workload import Workload
 from repro.dse.design_point import DesignPoint
 from repro.dse.explorer import DesignSpaceExplorer, ExplorationResult
+from repro.simulation.validation import ValidationResult, validate_workload
 
 
 @dataclass(frozen=True)
@@ -131,6 +132,9 @@ class Session:
         #: Results restored from the persistent store, promoted here so
         #: same-session reruns are memory hits (no repeat disk reads).
         self._restored_results: Dict[Workload, FlowResult] = {}
+        #: Validation evidence per workload; validation is deterministic so
+        #: equal workloads share one immutable result.
+        self._validations: Dict[Workload, ValidationResult] = {}
         #: Result-store key of each pipeline, captured at pipeline creation:
         #: write-back must file a result under the signature of the backend
         #: implementation that computed it, which a later register_backend
@@ -491,6 +495,53 @@ class Session:
         self._emit(SessionEvent("workload-finished", workload,
                                 elapsed_s=elapsed))
         return result
+
+    def validate(self, workload: Workload, *,
+                 window_side: Optional[int] = None,
+                 mode: str = "region") -> ValidationResult:
+        """Validate ``workload``: simulate the cone architecture on its frame
+        geometry and compare against the golden model, returning the
+        :class:`~repro.simulation.validation.ValidationResult` evidence.
+
+        Validation is pure and deterministic, so equal ``(workload,
+        window_side, mode)`` requests are served from an in-memory cache
+        (announced with a ``cache-hit`` event) and count toward the same
+        run/time statistics as :meth:`run`.  The result is immutable — safe
+        to share across callers.
+        """
+        started = time.perf_counter()
+        self._emit(SessionEvent("workload-started", workload))
+        try:
+            cache_key = workload
+            if window_side is not None or mode != "region":
+                # Non-default knobs get their own entries; the plain-workload
+                # key stays reserved for the service's canonical validation.
+                cache_key = (workload, window_side, mode)  # type: ignore[assignment]
+            with self._registry_lock:
+                cached = self._validations.get(cache_key)
+            hit = cached is not None
+            if cached is None:
+                result = validate_workload(workload, window_side=window_side,
+                                           mode=mode)
+                with self._registry_lock:
+                    cached = self._validations.setdefault(cache_key, result)
+        except Exception as error:
+            with self._stats_lock:
+                self._stats.workloads_failed += 1
+            self._emit(SessionEvent("workload-failed", workload,
+                                    elapsed_s=time.perf_counter() - started,
+                                    detail=str(error)))
+            raise
+        elapsed = time.perf_counter() - started
+        with self._stats_lock:
+            self._stats.workloads_run += 1
+            self._stats.workload_time_s += elapsed
+        if hit:
+            self._emit(SessionEvent("cache-hit", workload,
+                                    detail="validation evidence"))
+        self._emit(SessionEvent("workload-finished", workload,
+                                elapsed_s=elapsed))
+        return cached
 
     def run_many(self, workloads: Sequence[Workload],
                  max_workers: Optional[int] = None,

@@ -57,6 +57,7 @@ from repro.service.jobs import (
     ServiceClosedError,
     ServiceError,
     UnknownJobError,
+    parse_job_kind,
     priority_name,
 )
 from repro.service.metrics import render_prometheus
@@ -80,18 +81,19 @@ class _RoutedJob:
     """One fleet-level job: a workload pinned to a (current) worker."""
 
     __slots__ = ("id", "workload", "token", "priority", "timeout_s",
-                 "worker_name", "worker_job_id", "state", "coalesced",
-                 "replays", "submitted_at", "cancelled")
+                 "kind", "worker_name", "worker_job_id", "state",
+                 "coalesced", "replays", "submitted_at", "cancelled")
 
     def __init__(self, job_id: str, workload: Workload, token: str,
                  priority: int, timeout_s: Optional[float],
                  worker_name: str, worker_job_id: str,
-                 coalesced: bool) -> None:
+                 coalesced: bool, kind: str = "explore") -> None:
         self.id = job_id
         self.workload = workload
         self.token = token
         self.priority = priority
         self.timeout_s = timeout_s
+        self.kind = kind
         self.worker_name = worker_name
         self.worker_job_id = worker_job_id
         self.state = "routed"
@@ -104,6 +106,7 @@ class _RoutedJob:
         return {
             "job_id": self.id,
             "state": self.state,
+            "kind": self.kind,
             "priority": priority_name(self.priority),
             "workload": self.workload.name,
             "worker": self.worker_name,
@@ -358,9 +361,11 @@ class FleetRouter:
         last_error: Optional[Exception] = None
         for member in preference:
             try:
-                handle = member.client.submit(job.workload,
-                                              priority=job.priority,
-                                              timeout_s=job.timeout_s)
+                keywords: Dict[str, Any] = {"priority": job.priority,
+                                            "timeout_s": job.timeout_s}
+                if job.kind != "explore":
+                    keywords["job"] = job.kind
+                handle = member.client.submit(job.workload, **keywords)
             except (QueueFullError, ServiceError) as error:
                 last_error = error
                 continue
@@ -380,17 +385,22 @@ class FleetRouter:
     def submit(self, workload: Union[Workload, Mapping[str, Any]],
                priority: Union[str, int, None] = None,
                timeout_s: Optional[float] = None,
-               role: Optional[str] = None) -> Dict[str, Any]:
+               role: Optional[str] = None,
+               job: Optional[str] = None) -> Dict[str, Any]:
         """Admit, place, and file a workload; returns the fleet receipt.
 
         Admission first (the role must hold the priority class), then
         consistent-hash placement, then the home worker's own bounded
         queue — whose shed (``QueueFullError``) propagates to the caller
-        untouched: backpressure is end-to-end, never rerouted.
+        untouched: backpressure is end-to-end, never rerouted.  ``job``
+        selects the job class (``explore``/``validate``) and is forwarded
+        to the home worker; placement ignores it, so a validation lands
+        on the worker whose caches the matching exploration warmed.
         """
         if not isinstance(workload, Workload):
             workload = Workload.from_dict(workload)
         parsed = self._policy.admit(role, priority)
+        kind = parse_job_kind(job)
         with self._lock:
             if self._closed:
                 raise ServiceClosedError(
@@ -416,8 +426,13 @@ class FleetRouter:
         last_error: Optional[Exception] = None
         for member in preference:
             try:
-                handle = member.client.submit(workload, priority=parsed,
-                                              timeout_s=timeout_s)
+                keywords: Dict[str, Any] = {"priority": parsed,
+                                            "timeout_s": timeout_s}
+                if kind != "explore":
+                    # forwarded only when non-default, so caller-supplied
+                    # member clients predating job classes keep working
+                    keywords["job"] = kind
+                handle = member.client.submit(workload, **keywords)
             except (QueueFullError, FleetOverloadedError) as shed:
                 # FleetOverloadedError can only come from a caller-supplied
                 # member client with its own retry budget; either way the
@@ -436,7 +451,8 @@ class FleetRouter:
                 self._sequence += 1
                 job = _RoutedJob(f"fleet-{self._sequence}", workload,
                                  token, parsed, timeout_s,
-                                 member.name, handle.id, handle.coalesced)
+                                 member.name, handle.id, handle.coalesced,
+                                 kind=kind)
                 self._jobs[job.id] = job
                 self._routed += 1
                 member.jobs_routed += 1
@@ -469,8 +485,10 @@ class FleetRouter:
         return snapshot
 
     def result(self, job_id: str,
-               timeout: Optional[float] = None) -> FlowResult:
-        """Wait for a fleet job, following it across failovers.
+               timeout: Optional[float] = None) -> Any:
+        """Wait for a fleet job, following it across failovers; a
+        :class:`FlowResult` for ``explore`` jobs, a
+        :class:`~repro.api.results.ValidationResult` for ``validate``.
 
         The wait is chunked (:data:`RESULT_CHUNK_S`) so a worker dying
         mid-wait is noticed within a chunk: the router probes the worker,

@@ -61,6 +61,7 @@ from repro.service.jobs import (
     ServiceClosedError,
     ServiceError,
     UnknownJobError,
+    parse_job_kind,
     parse_priority,
     priority_name,
 )
@@ -90,6 +91,7 @@ __all__ = [
     "ServiceClosedError",
     "ServiceError",
     "UnknownJobError",
+    "parse_job_kind",
     "parse_priority",
     "priority_name",
     "render_prometheus",

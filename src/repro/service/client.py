@@ -32,7 +32,7 @@ import urllib.error
 import urllib.request
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 
-from repro.api.results import FlowResult
+from repro.api.results import FlowResult, ValidationResult
 from repro.api.workload import Workload
 from repro.service.jobs import (
     AdmissionDeniedError,
@@ -90,8 +90,11 @@ class JobHandle:
     def status(self) -> Dict[str, Any]:
         return self._client.status(self.id)
 
-    def result(self, timeout: Optional[float] = None) -> FlowResult:
-        """Wait for this job's :class:`FlowResult` (raises on failure)."""
+    def result(self, timeout: Optional[float] = None
+               ) -> Union[FlowResult, ValidationResult]:
+        """Wait for this job's result (raises on failure): a
+        :class:`FlowResult` for ``explore`` submissions, a
+        :class:`ValidationResult` for ``validate`` ones."""
         return self._client.result(self.id, timeout=timeout)
 
     def cancel(self) -> Dict[str, Any]:
@@ -162,8 +165,13 @@ class ReproClient:
     def submit(self, workload: Union[Workload, Mapping[str, Any]],
                priority: Union[str, int, None] = None,
                timeout_s: Optional[float] = None,
-               role: Optional[str] = None) -> JobHandle:
-        """File a workload for exploration; returns its :class:`JobHandle`.
+               role: Optional[str] = None,
+               job: Optional[str] = None) -> JobHandle:
+        """File a workload; returns its :class:`JobHandle`.
+
+        ``job`` selects the job class — ``explore`` (default) runs the
+        full staged flow, ``validate`` runs the simulated-vs-golden
+        equivalence check and yields a :class:`ValidationResult`.
 
         A shed submission (bounded queue full; ``503 + Retry-After``) is
         retried up to ``self.retries`` times with capped exponential
@@ -180,7 +188,7 @@ class ReproClient:
         while True:
             try:
                 return self._submit_once(workload, priority, timeout_s,
-                                         role)
+                                         role, job)
             except QueueFullError as shed:
                 if self.retries == 0:
                     raise
@@ -206,12 +214,15 @@ class ReproClient:
     def _submit_once(self, workload: Union[Workload, Mapping[str, Any]],
                      priority: Union[str, int, None],
                      timeout_s: Optional[float],
-                     role: Optional[str]) -> JobHandle:
+                     role: Optional[str],
+                     job: Optional[str] = None) -> JobHandle:
         if self._server is not None:
             keywords: Dict[str, Any] = {"priority": priority,
                                         "timeout_s": timeout_s}
             if role is not None:
                 keywords["role"] = role
+            if job is not None:
+                keywords["job"] = job
             receipt = self._server.submit(workload, **keywords)
         else:
             payload = (workload.to_dict() if isinstance(workload, Workload)
@@ -221,6 +232,8 @@ class ReproClient:
                                     "timeout_s": timeout_s}
             if role is not None:
                 body["role"] = role
+            if job is not None:
+                body["job"] = job
             receipt = self._post("/submit", body)
         return JobHandle(self, receipt["job_id"],
                          bool(receipt.get("coalesced")))
@@ -239,8 +252,9 @@ class ReproClient:
         return self._get(f"/status?id={job_id}")
 
     def result(self, job_id: str,
-               timeout: Optional[float] = None) -> FlowResult:
-        """Wait for a job and reconstruct its :class:`FlowResult`."""
+               timeout: Optional[float] = None
+               ) -> Union[FlowResult, ValidationResult]:
+        """Wait for a job and reconstruct its typed result."""
         if self._server is not None:
             return self._server.result(job_id, timeout=timeout)
         deadline = None if timeout is None else time.monotonic() + timeout
@@ -259,6 +273,8 @@ class ReproClient:
                 read_timeout=self.request_timeout_s + wait_s)
             if payload.get("pending"):
                 continue  # the poll window expired; the job is in flight
+            if payload.get("result_kind") == "validation":
+                return ValidationResult.from_dict(payload["result"])
             return FlowResult.from_dict(payload["result"])
 
     def cancel(self, job_id: str) -> Dict[str, Any]:

@@ -20,7 +20,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple, Union
 
-from repro.api.results import FlowResult
+from repro.api.results import FlowResult, ValidationResult
 from repro.api.workload import Workload
 
 #: Priority classes, highest first.  Lower number = drained earlier; the
@@ -71,6 +71,28 @@ def parse_priority(value: Union[str, int, None]) -> int:
 def priority_name(priority: int) -> str:
     """The class name of a priority number (for reporting)."""
     return _PRIORITY_NAMES.get(priority, str(priority))
+
+
+#: The job classes the service runs.  ``explore`` is the full staged flow
+#: (coalescible, batchable through ``run_many``); ``validate`` is the
+#: simulated-vs-golden equivalence check (coalescible among validations,
+#: always dispatched per-job through ``Session.validate``).
+JOB_KINDS: Tuple[str, ...] = ("explore", "validate")
+
+
+def parse_job_kind(value: Optional[str]) -> str:
+    """Normalize a job-class name.  ``None`` means ``explore``."""
+    if value is None:
+        return "explore"
+    try:
+        name = value.strip().lower()
+    except AttributeError:
+        raise ValueError(f"invalid job kind {value!r}; kinds are "
+                         f"{', '.join(JOB_KINDS)}") from None
+    if name not in JOB_KINDS:
+        raise ValueError(f"unknown job kind {value!r}; kinds are "
+                         f"{', '.join(JOB_KINDS)}")
+    return name
 
 
 # ---------------------------------------------------------------------- #
@@ -167,6 +189,9 @@ class Job:
     workload: Workload
     priority: int
     sequence: int
+    #: Job class (see :data:`JOB_KINDS`): what the scheduler runs for this
+    #: workload and what ``result`` carries when done.
+    kind: str = "explore"
     timeout_s: Optional[float] = None
     #: Monotonic deadline derived from ``timeout_s`` (queued jobs past it
     #: are timed out instead of dispatched; see the queue).
@@ -181,7 +206,7 @@ class Job:
     batch_size: int = 0
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
-    result: Optional[FlowResult] = None
+    result: Optional[Union[FlowResult, ValidationResult]] = None
     error: Optional[BaseException] = None
     _done: threading.Event = field(default_factory=threading.Event,
                                    repr=False)
@@ -206,6 +231,7 @@ class Job:
         return {
             "job_id": self.id,
             "state": self.state,
+            "kind": self.kind,
             "priority": priority_name(self.priority),
             "workload": self.workload.name,
             "kernel_fingerprint": self.workload.kernel_fingerprint,

@@ -47,6 +47,7 @@ from repro.service.jobs import (
     QueueFullError,
     ServiceClosedError,
     UnknownJobError,
+    parse_job_kind,
     parse_priority,
 )
 
@@ -83,8 +84,10 @@ class JobQueue:
         #: no longer queued, or whose priority no longer matches the job's
         #: (promotion happened), are stale and skipped on pop.
         self._heap: List[Tuple[int, int, Job]] = []
-        #: Coalescing index: workload -> its queued-or-running job.
-        self._inflight: Dict[Workload, Job] = {}
+        #: Coalescing index: (job kind, workload) -> its queued-or-running
+        #: job.  Keying on the kind keeps an exploration and a validation
+        #: of the same workload apart — their results are different types.
+        self._inflight: Dict[Tuple[str, Workload], Job] = {}
         #: Every remembered job by id (bounded terminal history).
         self._jobs: Dict[str, Job] = {}
         self._terminal_order: Deque[str] = deque()
@@ -105,19 +108,22 @@ class JobQueue:
 
     def submit(self, workload: Workload,
                priority: Union[str, int, None] = None,
-               timeout_s: Optional[float] = None) -> Tuple[Job, bool]:
+               timeout_s: Optional[float] = None,
+               kind: Optional[str] = None) -> Tuple[Job, bool]:
         """File a workload; returns ``(job, coalesced)``.
 
-        An identical in-flight workload coalesces: the existing job gains
-        a requester (and, if the new submission outranks it while still
-        queued, its better priority class) and is returned with
-        ``coalesced=True``.  ``timeout_s`` is a *dispatch* deadline; a
+        ``kind`` selects the job class (``explore``, the default, or
+        ``validate``).  An identical in-flight workload *of the same kind*
+        coalesces: the existing job gains a requester (and, if the new
+        submission outranks it while still queued, its better priority
+        class) and is returned with ``coalesced=True``.  ``timeout_s`` is a *dispatch* deadline; a
         coalesced job waits as long as its most patient requester (one
         requester's tight timeout must never expire a computation others
         are still willing to wait for — impatient requesters bound their
         own ``result(timeout=...)`` instead).
         """
         priority = parse_priority(priority)
+        kind = parse_job_kind(kind)
         if timeout_s is not None and timeout_s < 0:
             raise ValueError(f"timeout_s must be >= 0 (got {timeout_s})")
         deadline = (None if timeout_s is None
@@ -126,7 +132,7 @@ class JobQueue:
             if self._closed:
                 raise ServiceClosedError(
                     "the service is draining and accepts no new jobs")
-            job = self._inflight.get(workload)
+            job = self._inflight.get((kind, workload))
             if job is None and self._max_pending is not None:
                 pending = sum(1 for queued in self._inflight.values()
                               if queued.state == "queued")
@@ -162,10 +168,10 @@ class JobQueue:
                 return job, True
             sequence = next(self._sequence)
             job = Job(id=f"job-{sequence}", workload=workload,
-                      priority=priority, sequence=sequence,
+                      priority=priority, sequence=sequence, kind=kind,
                       timeout_s=timeout_s, deadline=deadline)
             self._jobs[job.id] = job
-            self._inflight[workload] = job
+            self._inflight[(kind, workload)] = job
             heapq.heappush(self._heap, (priority, sequence, job))
             self._has_work.notify_all()
             return job, False
@@ -327,8 +333,8 @@ class JobQueue:
     def _make_terminal(self, job: Job, state: str) -> None:
         job.state = state
         job.finished_at = time.time()
-        if self._inflight.get(job.workload) is job:
-            del self._inflight[job.workload]
+        if self._inflight.get((job.kind, job.workload)) is job:
+            del self._inflight[(job.kind, job.workload)]
         self._terminal_order.append(job.id)
         while len(self._terminal_order) > self._history_limit:
             forgotten = self._terminal_order.popleft()

@@ -125,6 +125,16 @@ class Scheduler:
                 self._batched_dispatches += 1
         for job in jobs:
             self._emit_job_event("job-started", job)
+        # Partition by job class: validations run per-job through
+        # Session.validate (each is one vectorized simulation — there is no
+        # cross-job batching to exploit), explorations keep the
+        # run/run_many batch semantics below.
+        validations = [job for job in jobs if job.kind == "validate"]
+        jobs = [job for job in jobs if job.kind != "validate"]
+        for job in validations:
+            self._run_single(job, self._session.validate)
+        if not jobs:
+            return
         try:
             if len(jobs) == 1:
                 results = [self._session.run(jobs[0].workload)]
@@ -155,27 +165,31 @@ class Scheduler:
         with self._lock:
             self._jobs_completed += len(jobs)
 
+    def _run_single(self, job: Job, runner) -> None:
+        """Run one job through ``runner(workload)`` with full accounting."""
+        started = time.perf_counter()
+        try:
+            result = runner(job.workload)
+        except Exception as error:
+            self._queue.fail(job, error)
+            self._emit_job_event(
+                "job-failed", job,
+                elapsed_s=time.perf_counter() - started,
+                detail=str(error))
+            with self._lock:
+                self._jobs_failed += 1
+        else:
+            self._queue.finish(job, result)
+            self._emit_job_event(
+                "job-finished", job,
+                elapsed_s=time.perf_counter() - started)
+            with self._lock:
+                self._jobs_completed += 1
+
     def _replay_individually(self, jobs: List[Job]) -> None:
         """Attribute a batch failure job by job (cache-hit replays)."""
         for job in jobs:
-            started = time.perf_counter()
-            try:
-                result = self._session.run(job.workload)
-            except Exception as error:
-                self._queue.fail(job, error)
-                self._emit_job_event(
-                    "job-failed", job,
-                    elapsed_s=time.perf_counter() - started,
-                    detail=str(error))
-                with self._lock:
-                    self._jobs_failed += 1
-            else:
-                self._queue.finish(job, result)
-                self._emit_job_event(
-                    "job-finished", job,
-                    elapsed_s=time.perf_counter() - started)
-                with self._lock:
-                    self._jobs_completed += 1
+            self._run_single(job, self._session.run)
 
     def _emit_job_event(self, kind: str, job: Job,
                         elapsed_s: Optional[float] = None,

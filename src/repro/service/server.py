@@ -46,7 +46,7 @@ from typing import Any, Callable, Dict, Mapping, Optional, Tuple, Union
 from urllib.parse import parse_qs, urlparse
 
 from repro.api.registry import register_backend
-from repro.api.results import FlowResult
+from repro.api.results import FlowResult, ValidationResult
 from repro.api.session import Session, SessionEvent, _defensive_copy
 from repro.api.store import ArtifactStore
 from repro.api.workload import Workload
@@ -207,18 +207,21 @@ class ReproServer:
 
     def submit(self, workload: Union[Workload, Mapping[str, Any]],
                priority: Union[str, int, None] = None,
-               timeout_s: Optional[float] = None) -> Dict[str, Any]:
+               timeout_s: Optional[float] = None,
+               job: Optional[str] = None) -> Dict[str, Any]:
         """File a workload; returns the submission receipt.
 
-        The receipt carries ``job_id`` (poll ``status``/``result`` with
-        it) and ``coalesced`` — whether this submission attached to an
-        identical workload already in flight instead of queueing new
-        work.
+        ``job`` selects the job class: ``explore`` (default, the full
+        staged flow) or ``validate`` (simulated-vs-golden equivalence
+        evidence).  The receipt carries ``job_id`` (poll
+        ``status``/``result`` with it) and ``coalesced`` — whether this
+        submission attached to an identical same-class workload already
+        in flight instead of queueing new work.
         """
         if not isinstance(workload, Workload):
             workload = Workload.from_dict(workload)
         job, coalesced = self._queue.submit(workload, priority=priority,
-                                            timeout_s=timeout_s)
+                                            timeout_s=timeout_s, kind=job)
         self._session._emit_batch_event(
             "job-coalesced" if coalesced else "job-queued",
             workload, detail=job.id)
@@ -231,8 +234,11 @@ class ReproServer:
         return self._queue.job(job_id).snapshot()
 
     def result(self, job_id: str,
-               timeout: Optional[float] = None) -> FlowResult:
-        """Wait for a job and return its :class:`FlowResult`.
+               timeout: Optional[float] = None
+               ) -> Union[FlowResult, ValidationResult]:
+        """Wait for a job and return its result — a :class:`FlowResult`
+        for ``explore`` jobs, a :class:`ValidationResult` for ``validate``
+        jobs.
 
         Raises :class:`JobFailedError` / :class:`JobCancelledError` /
         :class:`JobTimeoutError` for unsuccessful terminals.  A job whose
@@ -435,11 +441,16 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
                         "pending": True,
                     })
                     return
-                self._respond(200, {
+                payload = {
                     "job_id": job_id,
                     "state": "done",
                     "result": result.to_dict(),
-                })
+                }
+                if isinstance(result, ValidationResult):
+                    # typed discriminator so the client can rebuild the
+                    # right result class without guessing at the schema
+                    payload["result_kind"] = "validation"
+                self._respond(200, payload)
             else:
                 self._respond(404, {"error": f"no route {parsed.path!r}"})
         except Exception as error:  # mapped to a status code below
@@ -460,6 +471,8 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
                     # plain worker rejects it (TypeError -> 400) instead
                     # of silently dropping a capability check
                     keywords["role"] = body["role"]
+                if "job" in body:
+                    keywords["job"] = body["job"]
                 receipt = service.submit(body["workload"], **keywords)
                 self._respond(200, receipt)
             elif parsed.path == "/register":

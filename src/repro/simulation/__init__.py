@@ -5,11 +5,22 @@ The paper evaluates real hardware; this reproduction replaces the board with
 by tile on synthetic frames and checks it against a software golden model,
 and (2) a transaction-level cycle simulator that counts compute and memory
 cycles of the tile cascade and cross-checks the analytic throughput model.
+
+Every simulator runs vectorized by default (whole-frame array passes,
+batched multi-frame runs, array-reduced cycle aggregation) with its original
+scalar walk preserved as a ``*_scalar`` differential oracle — the property
+suite pins the two paths bit-identical, and
+:func:`~repro.simulation.vectorized.supports_vectorized` falls back to the
+scalar path for subclasses that override a scalar hook.
+:func:`~repro.simulation.validation.validate_workload` packages
+simulated-vs-golden evidence as a :class:`ValidationResult` for the
+``validate`` service job class.
 """
 
 from repro.simulation.frame import Frame, FrameSet, make_test_frame
 from repro.simulation.golden import GoldenExecutor
 from repro.simulation.memory import OffChipMemoryModel, OnChipBufferModel, TransferRecord
+from repro.simulation.vectorized import supports_vectorized
 from repro.simulation.cone_simulator import (
     FunctionalConeSimulator,
     TileCascadeCycleSimulator,
@@ -19,6 +30,7 @@ from repro.simulation.framebuffer_baseline import (
     FrameBufferArchitecture,
     FrameBufferPerformance,
 )
+from repro.simulation.validation import ValidationResult, validate_workload
 
 __all__ = [
     "Frame",
@@ -33,4 +45,7 @@ __all__ = [
     "CycleSimulationResult",
     "FrameBufferArchitecture",
     "FrameBufferPerformance",
+    "ValidationResult",
+    "supports_vectorized",
+    "validate_workload",
 ]

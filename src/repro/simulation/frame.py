@@ -55,13 +55,32 @@ class Frame:
         return Frame(self.name, self.data.copy())
 
     def clamped_read(self, component: int, y: int, x: int) -> float:
-        """Read with clamp-to-edge boundary handling."""
+        """Read with clamp-to-edge boundary handling.
+
+        Boundary contract: for *any* coordinate — arbitrarily far outside
+        the frame, including on frames as small as 1×1 — the element read is
+        ``data[component, clip(y, 0, height-1), clip(x, 0, width-1)]``.
+        This is exactly the element a :meth:`padded` view exposes at the
+        same logical coordinate, for any pad radius that covers it, so the
+        per-pixel oracle paths and the vectorized padded-view paths read
+        identical values everywhere (pinned by the edge-semantics
+        regression tests in ``tests/simulation/test_frame_and_golden.py``).
+        """
         yy = min(max(y, 0), self.height - 1)
         xx = min(max(x, 0), self.width - 1)
         return float(self.data[component, yy, xx])
 
     def padded(self, radius: int) -> np.ndarray:
-        """Return the frame padded by ``radius`` with edge replication."""
+        """Return the frame padded by ``radius`` with edge replication.
+
+        Boundary contract: ``padded(r)[c, r + y, r + x]`` equals
+        :meth:`clamped_read` of ``(c, y, x)`` for every ``y`` in
+        ``[-r, height-1+r]`` and ``x`` in ``[-r, width-1+r]``.  This holds
+        for *every* ``radius >= 0``, including ``radius >= height`` or
+        ``radius >= width`` (e.g. a deep stencil over a 1×N or 1×1 frame):
+        ``np.pad(..., mode="edge")`` replicates the outermost element into
+        the whole pad band, which is exactly clamp-to-edge.
+        """
         if radius == 0:
             return self.data.copy()
         return np.pad(self.data, ((0, 0), (radius, radius), (radius, radius)),

@@ -435,6 +435,85 @@ def evaluate(root: Expression,
     return visit(root)
 
 
+def evaluate_array(root: Expression,
+                   bindings: Mapping[Tuple[str, int, int, int, int], "object"],
+                   cache: Optional[Dict[int, "object"]] = None) -> "object":
+    """Vectorized twin of :func:`evaluate` over NumPy array bindings.
+
+    ``bindings`` maps ``(field, component, dx, dy, level)`` to arrays of one
+    common shape (one element per evaluation site); the return value has the
+    same shape.  Every element of the result is bit-identical to what
+    :func:`evaluate` produces from the corresponding scalar bindings: both
+    paths use correctly rounded IEEE float64 primitives, comparisons encode
+    to the same 1.0/0.0, and SELECT — which the scalar evaluator
+    short-circuits — is merged elementwise with ``np.where`` after
+    evaluating *both* branches (float faults on not-taken lanes, e.g. sqrt
+    of a negative, are suppressed and their lanes discarded).
+
+    Sharing ``cache`` across several roots of one DAG reuses common
+    sub-expression results, exactly like the scalar evaluator.
+    """
+    import numpy as np  # deferred: the symbolic core itself is stdlib-only
+
+    if cache is None:
+        cache = {}
+
+    def visit(node: Expression):
+        cached = cache.get(id(node))
+        if cached is not None:
+            return cached
+        if isinstance(node, Constant):
+            value = np.float64(node.value)
+        elif isinstance(node, FieldSymbol):
+            key = (node.field, node.component, node.offset.dx, node.offset.dy,
+                   node.level)
+            if key not in bindings:
+                raise KeyError(f"no binding for symbol {node!r}")
+            value = bindings[key]
+        elif isinstance(node, Operation):
+            kind = node.kind
+            values = [visit(op) for op in node.operands]
+            if kind is OpKind.ADD:
+                value = values[0] + values[1]
+            elif kind is OpKind.SUB:
+                value = values[0] - values[1]
+            elif kind is OpKind.MUL:
+                value = values[0] * values[1]
+            elif kind is OpKind.DIV:
+                value = values[0] / values[1]
+            elif kind is OpKind.MIN:
+                value = np.minimum(values[0], values[1])
+            elif kind is OpKind.MAX:
+                value = np.maximum(values[0], values[1])
+            elif kind is OpKind.ABS:
+                value = np.abs(values[0])
+            elif kind is OpKind.NEG:
+                value = -values[0]
+            elif kind is OpKind.SQRT:
+                value = np.sqrt(values[0])
+            elif kind is OpKind.CMP_LT:
+                value = np.asarray(values[0] < values[1], dtype=np.float64)
+            elif kind is OpKind.CMP_LE:
+                value = np.asarray(values[0] <= values[1], dtype=np.float64)
+            elif kind is OpKind.CMP_GT:
+                value = np.asarray(values[0] > values[1], dtype=np.float64)
+            elif kind is OpKind.CMP_GE:
+                value = np.asarray(values[0] >= values[1], dtype=np.float64)
+            elif kind is OpKind.CMP_EQ:
+                value = np.asarray(values[0] == values[1], dtype=np.float64)
+            elif kind is OpKind.SELECT:
+                value = np.where(values[0] != 0.0, values[1], values[2])
+            else:  # pragma: no cover - defensive
+                raise ValueError(f"unknown operator {kind!r}")
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown expression node {node!r}")
+        cache[id(node)] = value
+        return value
+
+    with np.errstate(invalid="ignore", divide="ignore"):
+        return visit(root)
+
+
 def expression_to_string(root: Expression, max_depth: int = 12) -> str:
     """Render an expression as a human-readable string (tests and debugging)."""
 

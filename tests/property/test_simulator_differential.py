@@ -1,12 +1,20 @@
-"""Differential property tests: cone simulator vs. the golden model.
+"""Differential property tests: cone simulator vs. the golden model, and
+the vectorized simulation paths vs. their preserved scalar oracles.
 
-ISSUE 3 satellite — beyond the fixed cases in ``tests/simulation/``, the
-functional cone simulator must agree with the whole-frame golden executor
-for *randomized* frame geometries, simulator modes, and algorithm picks.
-The architectural contract (see :class:`FunctionalConeSimulator`): every
-output element whose dependency cone does not touch the frame border is
-bit-identical to Algorithm 1's result; border elements may differ only
-inside the clamp band of width ``radius * iterations``.
+Two layers of evidence:
+
+* *semantic* (ISSUE 3 satellite) — the functional cone simulator must
+  agree with the whole-frame golden executor for randomized frame
+  geometries, simulator modes, and algorithm picks.  The architectural
+  contract (see :class:`FunctionalConeSimulator`): every output element
+  whose dependency cone does not touch the frame border is bit-identical
+  to Algorithm 1's result; border elements may differ only inside the
+  clamp band of width ``radius * iterations``.
+* *implementation* (ISSUE 8 tentpole) — every vectorized path
+  (``GoldenExecutor.step``, both cone-simulator modes, ``run_batch``, the
+  cycle simulator, the frame-buffer batch evaluator) must be
+  **bit-identical** — not merely close — to the retained ``*_scalar``
+  walk on the same inputs, including degenerate 1×1 and 1×N frames.
 """
 
 import numpy as np
@@ -14,14 +22,27 @@ import pytest
 from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
+from repro.algorithms import ALGORITHMS as REGISTERED_ALGORITHMS
 from repro.algorithms import get_algorithm
-from repro.simulation.cone_simulator import FunctionalConeSimulator
+from repro.architecture.template import ConeArchitecture
+from repro.estimation.throughput_model import ConePerformance
+from repro.simulation.cone_simulator import (
+    FunctionalConeSimulator,
+    TileCascadeCycleSimulator,
+)
 from repro.simulation.frame import FrameSet
+from repro.simulation.framebuffer_baseline import FrameBufferArchitecture
 from repro.simulation.golden import GoldenExecutor
+from repro.simulation.vectorized import supports_vectorized
+from repro.synth.fpga_device import VIRTEX6_XC6VLX760
 
 #: Single-state-field algorithms cheap enough for randomized sweeps (the
 #: multi-field Chambolle case is covered by its own dedicated test below).
 ALGORITHMS = ("blur", "jacobi", "heat", "erode")
+
+#: Every registered algorithm, multi-field kernels included: the
+#: bit-identity suite must cover whatever the registry can simulate.
+ALL_ALGORITHMS = tuple(sorted(REGISTERED_ALGORITHMS))
 
 
 def interior(array, margin):
@@ -120,3 +141,226 @@ def test_modes_and_tilings_agree_with_each_other(height, width, seed,
     np.testing.assert_allclose(interior(region["f"].data, margin),
                                interior(other["f"].data, margin),
                                rtol=1e-9, atol=1e-12)
+
+
+# ---------------------------------------------------------------------- #
+# vectorized paths vs. their scalar oracles (bit-identity, not closeness)
+
+
+def assert_frames_identical(vectorized, scalar, context):
+    for name in vectorized.names():
+        assert np.array_equal(vectorized[name].data, scalar[name].data), (
+            f"{context}: field {name!r} diverged from the scalar oracle "
+            f"(max abs diff "
+            f"{np.max(np.abs(vectorized[name].data - scalar[name].data))})")
+
+
+@given(algorithm=st.sampled_from(ALL_ALGORITHMS),
+       height=st.integers(min_value=1, max_value=12),
+       width=st.integers(min_value=1, max_value=12),
+       seed=st.integers(min_value=0, max_value=2**16),
+       iterations=st.integers(min_value=0, max_value=2),
+       window=st.integers(min_value=1, max_value=5))
+@settings(max_examples=25, deadline=None)
+def test_region_mode_bit_identical_to_scalar(algorithm, height, width, seed,
+                                             iterations, window):
+    """Region mode: the stacked clamped-gather evaluation must reproduce
+    the per-tile scalar walk bit for bit — degenerate 1×1 and 1×N frames
+    (where the halo is wider than the frame) included."""
+    kernel = get_algorithm(algorithm).kernel()
+    frames = FrameSet.for_kernel(kernel, height, width, seed=seed)
+    simulator = FunctionalConeSimulator(kernel)
+    vectorized = simulator.run(frames, iterations, window, mode="region")
+    scalar = simulator.run_scalar(frames, iterations, window, mode="region")
+    assert_frames_identical(vectorized, scalar,
+                            f"{algorithm} region {height}x{width} "
+                            f"w{window} i{iterations}")
+
+
+@given(algorithm=st.sampled_from(ALL_ALGORITHMS),
+       height=st.integers(min_value=1, max_value=9),
+       width=st.integers(min_value=1, max_value=9),
+       seed=st.integers(min_value=0, max_value=2**16),
+       iterations=st.integers(min_value=1, max_value=2),
+       window=st.integers(min_value=1, max_value=3))
+@settings(max_examples=10, deadline=None)
+def test_expression_mode_bit_identical_to_scalar(algorithm, height, width,
+                                                 seed, iterations, window):
+    """Expression mode: one ``evaluate_array`` pass over every cone DAG vs.
+    the per-tile scalar DAG evaluation (reduced ranges — the scalar side
+    re-evaluates the DAG once per tile)."""
+    kernel = get_algorithm(algorithm).kernel()
+    frames = FrameSet.for_kernel(kernel, height, width, seed=seed)
+    simulator = FunctionalConeSimulator(kernel)
+    vectorized = simulator.run(frames, iterations, window, mode="expression")
+    scalar = simulator.run_scalar(frames, iterations, window,
+                                  mode="expression")
+    assert_frames_identical(vectorized, scalar,
+                            f"{algorithm} expression {height}x{width} "
+                            f"w{window} i{iterations}")
+
+
+@given(algorithm=st.sampled_from(ALL_ALGORITHMS),
+       height=st.integers(min_value=1, max_value=8),
+       width=st.integers(min_value=1, max_value=8),
+       seed=st.integers(min_value=0, max_value=2**16),
+       iterations=st.integers(min_value=0, max_value=2))
+@settings(max_examples=10, deadline=None)
+def test_golden_step_bit_identical_to_scalar(algorithm, height, width, seed,
+                                             iterations):
+    """The whole-frame golden step vs. its per-pixel scalar oracle."""
+    kernel = get_algorithm(algorithm).kernel()
+    frames = FrameSet.for_kernel(kernel, height, width, seed=seed)
+    executor = GoldenExecutor(kernel)
+    vectorized = executor.run(frames, iterations)
+    scalar = executor.run_scalar(frames, iterations)
+    assert_frames_identical(vectorized, scalar,
+                            f"golden {algorithm} {height}x{width} "
+                            f"i{iterations}")
+
+
+@given(window=st.integers(min_value=1, max_value=8),
+       depth=st.integers(min_value=1, max_value=4),
+       levels=st.integers(min_value=1, max_value=3),
+       instances=st.integers(min_value=1, max_value=4),
+       frame_width=st.integers(min_value=1, max_value=300),
+       frame_height=st.integers(min_value=1, max_value=300),
+       latency=st.integers(min_value=1, max_value=12))
+@settings(max_examples=30, deadline=None)
+def test_cycle_simulator_bit_identical_to_scalar(window, depth, levels,
+                                                 instances, frame_width,
+                                                 frame_height, latency):
+    """The one-representative-tile cycle aggregation vs. the per-tile walk:
+    every count and cycle total must be *exactly* equal (the sequential
+    cumsum fold reproduces the scalar ``+=`` rounding sequence)."""
+    architecture = ConeArchitecture(
+        kernel_name="blur", window_side=window,
+        level_depths=[depth] * levels,
+        cone_counts={depth: instances}, radius=1)
+    performance = {d: ConePerformance(d, window, latency)
+                   for d in architecture.distinct_depths}
+    simulator = TileCascadeCycleSimulator(VIRTEX6_XC6VLX760)
+    fast = simulator.simulate_frame(architecture, performance,
+                                    frame_width, frame_height)
+    slow = simulator.simulate_frame_scalar(architecture, performance,
+                                           frame_width, frame_height)
+    assert fast.tiles == slow.tiles
+    assert fast.compute_cycles == slow.compute_cycles
+    assert fast.transfer_cycles == slow.transfer_cycles
+    assert fast.total_cycles == slow.total_cycles
+    assert fast.offchip_bytes == slow.offchip_bytes
+    assert fast.onchip_peak_bytes == slow.onchip_peak_bytes
+    assert fast.seconds_per_frame == slow.seconds_per_frame
+    assert fast.frames_per_second == slow.frames_per_second
+
+
+@given(widths=st.lists(st.integers(min_value=1, max_value=4000),
+                       min_size=1, max_size=8),
+       heights=st.lists(st.integers(min_value=1, max_value=4000),
+                        min_size=1, max_size=8),
+       iterations=st.integers(min_value=0, max_value=40))
+@settings(max_examples=25, deadline=None)
+def test_framebuffer_batch_bit_identical_to_scalar(widths, heights,
+                                                   iterations):
+    """``evaluate_batch`` columns vs. element-wise ``evaluate`` calls."""
+    size = min(len(widths), len(heights))
+    widths, heights = widths[:size], heights[:size]
+    baseline = FrameBufferArchitecture(get_algorithm("blur").kernel())
+    columns = baseline.evaluate_batch(widths, heights, iterations)
+    for index, (w, h) in enumerate(zip(widths, heights)):
+        report = baseline.evaluate(w, h, iterations)
+        assert bool(columns["frame_fits_onchip"][index]) \
+            == report.frame_fits_onchip
+        assert int(columns["onchip_bytes_required"][index]) \
+            == report.onchip_bytes_required
+        assert float(columns["offchip_bytes_per_frame"][index]) \
+            == report.offchip_bytes_per_frame
+        assert float(columns["compute_cycles_per_frame"][index]) \
+            == report.compute_cycles_per_frame
+        assert float(columns["transfer_cycles_per_frame"][index]) \
+            == report.transfer_cycles_per_frame
+        assert float(columns["seconds_per_frame"][index]) \
+            == report.seconds_per_frame
+        assert float(columns["frames_per_second"][index]) \
+            == report.frames_per_second
+
+
+# ---------------------------------------------------------------------- #
+# batched multi-frame runs
+
+
+@pytest.mark.parametrize("batch_size", [1, 2, 7])
+def test_run_batch_matches_independent_runs(batch_size):
+    """``run_batch`` over K frame sets (mixed shapes, shuffled order) is
+    element-identical to K independent ``run`` calls, in input order."""
+    kernel = get_algorithm("blur").kernel()
+    simulator = FunctionalConeSimulator(kernel)
+    shapes = [(9, 7), (1, 5), (12, 12), (4, 9), (1, 1), (7, 7), (5, 13)]
+    rng = np.random.default_rng(batch_size)
+    order = rng.permutation(len(shapes))[:batch_size]
+    frame_sets = [FrameSet.for_kernel(kernel, *shapes[i], seed=100 + int(i))
+                  for i in order]
+    batched = simulator.run_batch(frame_sets, iterations=2, window_side=3,
+                                  mode="region")
+    assert len(batched) == batch_size
+    for position, frames in enumerate(frame_sets):
+        single = simulator.run(frames, 2, 3, mode="region")
+        assert_frames_identical(batched[position], single,
+                                f"batch[{position}] of {batch_size}")
+
+
+def test_run_batch_multi_field():
+    """Batching must carry every state field of a multi-field kernel."""
+    kernel = get_algorithm("chamb").kernel()
+    simulator = FunctionalConeSimulator(kernel)
+    frame_sets = [FrameSet.for_kernel(kernel, 8, 6, seed=s) for s in (1, 2)]
+    batched = simulator.run_batch(frame_sets, iterations=1, window_side=2,
+                                  mode="region")
+    for position, frames in enumerate(frame_sets):
+        single = simulator.run(frames, 1, 2, mode="region")
+        assert_frames_identical(batched[position], single,
+                                f"chamb batch[{position}]")
+
+
+# ---------------------------------------------------------------------- #
+# the override-fallback contract
+
+
+class _PaddedRegionSimulator(FunctionalConeSimulator):
+    """Subclass overriding a scalar hook: must disable the fast path."""
+
+    def _evaluate_tile_region(self, *args, **kwargs):
+        result = super()._evaluate_tile_region(*args, **kwargs)
+        return {name: arrays + 1000.0 for name, arrays in result.items()}
+
+
+def test_overridden_scalar_hook_disables_vectorized_path():
+    kernel = get_algorithm("blur").kernel()
+    custom = _PaddedRegionSimulator(kernel)
+    assert supports_vectorized(FunctionalConeSimulator(kernel))
+    assert not supports_vectorized(custom)
+    frames = FrameSet.for_kernel(kernel, 6, 6, seed=3)
+    result = custom.run(frames, 1, 2, mode="region")
+    # the override's +1000 must be visible: run() fell back to the scalar
+    # walk instead of silently bypassing the subclass's semantics
+    assert float(result["f"].data.min()) > 900.0
+
+
+def test_cycle_simulator_override_fallback():
+    import dataclasses
+
+    class _Tweaked(TileCascadeCycleSimulator):
+        def simulate_frame_scalar(self, architecture, cone_performance,
+                                  frame_width, frame_height):
+            result = super().simulate_frame_scalar(
+                architecture, cone_performance, frame_width, frame_height)
+            return dataclasses.replace(result, architecture_label="tweaked")
+
+    architecture = ConeArchitecture(kernel_name="blur", window_side=4,
+                                    level_depths=[2, 2],
+                                    cone_counts={2: 2}, radius=1)
+    performance = {2: ConePerformance(2, 4, 4)}
+    tweaked = _Tweaked(VIRTEX6_XC6VLX760)
+    assert not supports_vectorized(tweaked)
+    result = tweaked.simulate_frame(architecture, performance, 64, 64)
+    assert result.architecture_label == "tweaked"

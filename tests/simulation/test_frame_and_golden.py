@@ -38,6 +38,44 @@ class TestFrame:
         clone.data[0, 0, 0] = 5.0
         assert frame.data[0, 0, 0] == 0.0
 
+    # ------------------------------------------------------------------ #
+    # edge-semantics regression: clamped_read and padded() must expose the
+    # same boundary contract at EVERY radius, including radius >= the frame
+    # dimensions (deep stencils over tiny frames) — the per-pixel oracle
+    # paths read via clamped_read while the vectorized paths read padded
+    # views, so any divergence here would silently break bit-identity.
+
+    @pytest.mark.parametrize("height,width", [(1, 1), (1, 4), (3, 1), (2, 2)])
+    @pytest.mark.parametrize("radius", [1, 2, 3, 5])
+    def test_padded_agrees_with_clamped_read_everywhere(self, height, width,
+                                                        radius):
+        rng = np.random.default_rng(height * 10 + width)
+        frame = Frame("f", rng.random((height, width)))
+        padded = frame.padded(radius)
+        assert padded.shape == (1, height + 2 * radius, width + 2 * radius)
+        for y in range(-radius, height + radius):
+            for x in range(-radius, width + radius):
+                assert padded[0, radius + y, radius + x] \
+                    == frame.clamped_read(0, y, x), (height, width, radius,
+                                                     y, x)
+
+    def test_clamp_at_border_on_1x1_frame(self):
+        frame = Frame("f", np.array([[7.5]]))
+        for y in (-9, 0, 9):
+            for x in (-9, 0, 9):
+                assert frame.clamped_read(0, y, x) == 7.5
+        padded = frame.padded(4)
+        assert np.all(padded == 7.5)
+
+    def test_padded_radius_exceeding_dimensions_replicates_edge(self):
+        frame = Frame("f", np.array([[1.0, 2.0, 3.0]]))  # 1x3 frame
+        padded = frame.padded(5)  # radius > height AND > width
+        assert padded.shape == (1, 11, 13)
+        # the whole left pad band is the leftmost column, clamped
+        assert np.all(padded[0, :, :6] == 1.0)
+        assert np.all(padded[0, :, 7:] == 3.0)
+        assert np.all(padded[0, :, 6] == 2.0)
+
 
 class TestFrameSet:
     def test_mismatched_shapes_rejected(self):
@@ -139,3 +177,35 @@ class TestGoldenExecutor:
         frames = FrameSet.for_kernel(erosion_kernel, 12, 12, seed=9)
         result = GoldenExecutor(erosion_kernel).run(frames, 3)
         assert np.all(result["f"].data <= frames["f"].data + 1e-12)
+
+    # ------------------------------------------------------------------ #
+    # degenerate-shape regression: frames no larger than the stencil radius
+    # exercise the clamp-everywhere corner of the boundary contract, where
+    # the vectorized padded-view path and the scalar clamped_read path must
+    # still agree bit-for-bit.
+
+    @pytest.mark.parametrize("height,width", [(1, 1), (1, 5), (4, 1)])
+    def test_vectorized_matches_scalar_on_degenerate_frames(self, igf_kernel,
+                                                            height, width):
+        frames = FrameSet.for_kernel(igf_kernel, height, width, seed=11)
+        executor = GoldenExecutor(igf_kernel)
+        fast = executor.run(frames, 3)
+        slow = executor.run_scalar(frames, 3)
+        assert np.array_equal(fast["f"].data, slow["f"].data)
+
+    def test_multi_field_vectorized_matches_scalar_on_1x1(self,
+                                                          chambolle_kernel):
+        frames = FrameSet.for_kernel(chambolle_kernel, 1, 1, seed=12)
+        executor = GoldenExecutor(chambolle_kernel)
+        fast = executor.run(frames, 4)
+        slow = executor.run_scalar(frames, 4)
+        for name in frames.names():
+            assert np.array_equal(fast[name].data, slow[name].data), name
+
+    def test_blur_on_1x1_frame_is_identity(self, igf_kernel):
+        """All nine taps clamp to the single pixel; a normalised blur of a
+        single pixel must therefore return that pixel's own value."""
+        frames = FrameSet.for_kernel(igf_kernel, 1, 1,
+                                     initial={"f": np.array([[2.5]])})
+        result = GoldenExecutor(igf_kernel).run(frames, 3)
+        assert result["f"].data[0, 0, 0] == pytest.approx(2.5)
