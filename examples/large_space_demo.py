@@ -18,7 +18,16 @@ materializing the full candidate table:
   engine's, whatever the chunk size or order;
 * the admitted-prefix masks are cached by *shape* knobs only, so a
   re-exploration that changes a per-run knob (frame size, fps floor)
-  skips the admission pass entirely and re-costs only the admitted rows.
+  skips the admission pass entirely and re-costs only the admitted rows;
+* a frames-per-second floor is pushed down too: throughput is monotone in
+  the instance count, so a second binary search admits only the count
+  suffix that can meet the floor — intersected with the area prefix, the
+  admitted band is pruned before any costing;
+* independent chunks fan out across executor-strategy workers
+  (``jobs=N`` / ``explore(stream=True, stream_jobs=4)`` /
+  ``--stream --jobs 4`` on the CLI); each worker folds a shard into
+  private state and the associative ``merge`` reduces them, bit-identical
+  to the serial fold at any worker count.
 
 Run with::
 
@@ -107,6 +116,28 @@ def main() -> None:
           f"{fastest.area_luts:.0f} LUTs "
           f"({fastest.frames_per_second:.1f} fps) "
           f"across {len(streamed.pareto)} points")
+    print()
+
+    # 6. throughput-side pushdown + parallel dispatch: an fps floor
+    #    admits only a suffix of each group's count axis (throughput is
+    #    monotone in the instance count), pruned before costing like the
+    #    area prefix; and the chunk schedule fans out across workers,
+    #    merged back bit-identically.
+    floored = DseConstraints(device_only=True, min_frames_per_second=30.0)
+    serial = explore_stream(space, characterizations,
+                            explorer.throughput_model, 1024, 768,
+                            floored, usable, chunk_rows=CHUNK_ROWS)
+    parallel = explore_stream(space, characterizations,
+                              explorer.throughput_model, 1024, 768,
+                              floored, usable, chunk_rows=CHUNK_ROWS,
+                              jobs=4, executor="threads")
+    identical = ([p.to_dict() for p in parallel.pareto]
+                 == [p.to_dict() for p in serial.pareto])
+    print(f"30 fps floor: {serial.throughput_pruned_rows:,} rows pruned "
+          f"throughput-side before costing "
+          f"({serial.pruned_fraction:.2%} pruned in total); "
+          f"jobs=4 fan-out digest-identical to the serial fold: "
+          f"{identical}")
 
 
 if __name__ == "__main__":

@@ -52,9 +52,11 @@ class FlowOptions:
     #: Out-of-core evaluation knobs (:mod:`repro.dse.stream`): ``stream``
     #: is tri-state (None = auto-select above the engine's row threshold),
     #: ``chunk_rows`` bounds the rows materialized per chunk (None = the
-    #: engine default).
+    #: engine default), ``stream_jobs`` fans chunk shards across workers
+    #: (None = serial fold; results are bit-identical either way).
     stream: Optional[bool] = None
     chunk_rows: Optional[int] = None
+    stream_jobs: Optional[int] = None
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-ready representation."""
@@ -77,6 +79,7 @@ class FlowOptions:
             "throughput_estimator": self.throughput_estimator,
             "stream": self.stream,
             "chunk_rows": self.chunk_rows,
+            "stream_jobs": self.stream_jobs,
         }
 
     @classmethod
@@ -103,6 +106,7 @@ class FlowOptions:
             # .get: payloads written before the streaming engine existed
             stream=data.get("stream"),
             chunk_rows=data.get("chunk_rows"),
+            stream_jobs=data.get("stream_jobs"),
         )
 
 

@@ -44,7 +44,7 @@ _OPTION_FIELDS = tuple(f.name for f in fields(FlowOptions))
 _NON_SHAPE_FIELDS = frozenset({"frame_width", "frame_height", "iterations",
                                "constraints",
                                "onchip_port_elements_per_cycle",
-                               "stream", "chunk_rows"})
+                               "stream", "chunk_rows", "stream_jobs"})
 
 
 @dataclass(frozen=True)
@@ -87,6 +87,7 @@ class Workload:
     #: characterizations (listed in _NON_SHAPE_FIELDS).
     stream: Optional[bool] = _DEFAULTS.stream
     chunk_rows: Optional[int] = _DEFAULTS.chunk_rows
+    stream_jobs: Optional[int] = _DEFAULTS.stream_jobs
     kernel_fingerprint: str = field(default="", init=False)
 
     def __post_init__(self) -> None:
@@ -104,6 +105,9 @@ class Workload:
         if self.chunk_rows is not None and self.chunk_rows < 1:
             raise ValueError(
                 f"chunk_rows must be >= 1 (got {self.chunk_rows})")
+        if self.stream_jobs is not None and self.stream_jobs < 1:
+            raise ValueError(
+                f"stream_jobs must be >= 1 (got {self.stream_jobs})")
         object.__setattr__(self, "window_sides",
                            tuple(sorted(set(self.window_sides))))
         # Always normalize: an already-tuple params value may still be

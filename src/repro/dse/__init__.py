@@ -17,7 +17,8 @@ from repro.dse.engine import (ColumnarExploration, explore_columnar,
 from repro.dse.stream import (DEFAULT_CHUNK_ROWS, STREAM_AUTO_THRESHOLD,
                               SpaceChunk, StreamingExploration,
                               StreamingFrontier, StreamingTopK,
-                              explore_stream, plan_chunks, stream_stats)
+                              explore_stream, plan_chunks,
+                              reset_stream_stats, stream_stats)
 from repro.dse.explorer import DesignSpaceExplorer, ExplorationResult, ConeCharacterization
 
 __all__ = [
@@ -37,6 +38,7 @@ __all__ = [
     "StreamingTopK",
     "explore_stream",
     "plan_chunks",
+    "reset_stream_stats",
     "stream_stats",
     "DesignSpaceExplorer",
     "ExplorationResult",

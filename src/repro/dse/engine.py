@@ -48,6 +48,10 @@ from repro.architecture.enumeration import (ArchitectureSpace,
 from repro.dse.constraints import DseConstraints
 from repro.dse.design_point import DesignPoint
 from repro.dse.pareto import pareto_indices
+# one accumulation formula shared with the streaming engine, so its
+# binary-search pushdown probes are bit-identical to these columns by
+# construction (stream imports nothing from this module at import time)
+from repro.dse.stream import _group_area
 from repro.estimation.throughput_model import (
     ConePerformance,
     ThroughputModel,
@@ -142,7 +146,10 @@ class ColumnarExploration:
     pareto_index: np.ndarray
     design_points: Optional[List[DesignPoint]]
     pareto: List[DesignPoint]
-    #: Rows never costed thanks to constraint pushdown (area-infeasible).
+    #: Rows never costed thanks to constraint pushdown (area-infeasible
+    #: only — a min-fps floor is filtered *after* costing here and is not
+    #: counted; the streaming engine pushes it down too, so its
+    #: ``pruned_rows`` additionally covers ``throughput_pruned_rows``).
     pruned_rows: int = 0
 
     @property
@@ -202,12 +209,7 @@ def explore_columnar(space: ArchitectureSpace,
             # sorted-depth order exactly like the scalar sum (bit-identical;
             # only the primary depth's instance count varies along the row
             # axis of the group).
-            area = np.zeros(n_counts, dtype=np.float64)
-            for depth in depths:
-                if depth == primary:
-                    area += counts * area_by_depth[depth]
-                else:
-                    area += 1 * area_by_depth[depth]
+            area = _group_area(counts, depths, primary, area_by_depth)
             fits = area <= usable_luts
 
             # Constraint pushdown: candidates that already fail the

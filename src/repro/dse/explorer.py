@@ -443,7 +443,9 @@ class DesignSpaceExplorer:
                 onchip_port_elements_per_cycle: Optional[int] = None,
                 *, columnar: Optional[bool] = None,
                 stream: Optional[bool] = None,
-                chunk_rows: Optional[int] = None) -> ExplorationResult:
+                chunk_rows: Optional[int] = None,
+                stream_jobs: Optional[int] = None,
+                stream_executor: object = None) -> ExplorationResult:
         """Run the full exploration and return design points plus the Pareto set.
 
         ``onchip_port_elements_per_cycle`` overrides the constructor default
@@ -466,7 +468,10 @@ class DesignSpaceExplorer:
         *only* the frontier as design points (``result.design_points is
         result.pareto`` members) and records chunking/pushdown metadata
         under ``result.streaming``.  ``chunk_rows`` bounds the rows
-        materialized per chunk.
+        materialized per chunk; ``stream_jobs`` fans the chunk schedule
+        across workers through ``stream_executor`` (anything
+        :func:`repro.api.executor.resolve_strategy` accepts; ``None`` →
+        threads) with bit-identical results at any worker count.
         """
         characterizations, validations = self.characterize_cones(total_iterations)
         space = self._space(total_iterations)
@@ -500,7 +505,8 @@ class DesignSpaceExplorer:
             evaluation = explore_stream(
                 space, characterizations, throughput_model,
                 frame_width, frame_height, constraints, usable_luts,
-                chunk_rows=chunk_rows or DEFAULT_CHUNK_ROWS)
+                chunk_rows=chunk_rows or DEFAULT_CHUNK_ROWS,
+                jobs=stream_jobs, executor=stream_executor)
             design_points = list(evaluation.pareto)
             pareto = evaluation.pareto
             streaming_meta = {
@@ -508,12 +514,14 @@ class DesignSpaceExplorer:
                 "space_rows": evaluation.space_rows,
                 "admitted_rows": evaluation.admitted_rows,
                 "pruned_rows": evaluation.pruned_rows,
+                "throughput_pruned_rows": evaluation.throughput_pruned_rows,
                 "pruned_fraction": evaluation.pruned_fraction,
                 "chunks_total": evaluation.chunks_total,
                 "chunks_skipped": evaluation.chunks_skipped,
                 "peak_chunk_rows": evaluation.peak_chunk_rows,
                 "frontier_peak": evaluation.frontier_peak,
                 "mask_cache_hit": evaluation.mask_cache_hit,
+                "stream_jobs": evaluation.jobs,
             }
         elif streamable if columnar is None else columnar:
             evaluation = explore_columnar(

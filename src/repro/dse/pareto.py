@@ -33,6 +33,13 @@ from repro.dse.design_point import DesignPoint
 #: and take the vectorized path.
 _VECTORIZE_THRESHOLD = 64
 
+#: The one diagnostic for non-finite objectives, shared by every extractor
+#: (scalar scan, vectorized path, and the streaming accumulators in
+#: :mod:`repro.dse.stream`) so callers can match on a single message.
+FINITE_OBJECTIVES_ERROR = (
+    "Pareto extraction needs finite objectives; got NaN or infinite "
+    "area/time values (an upstream estimate produced garbage)")
+
 
 def is_dominated(candidate: DesignPoint, other: DesignPoint) -> bool:
     """True when ``other`` is at least as good on both objectives and better on one."""
@@ -61,9 +68,7 @@ def pareto_indices(area_luts: "np.ndarray",
         raise ValueError("area_luts and seconds_per_frame must be 1-D "
                          "arrays of equal length")
     if not (np.isfinite(areas).all() and np.isfinite(times).all()):
-        raise ValueError(
-            "Pareto extraction needs finite objectives; got NaN or infinite "
-            "area/time values (an upstream estimate produced garbage)")
+        raise ValueError(FINITE_OBJECTIVES_ERROR)
     if areas.size == 0:
         return np.empty(0, dtype=np.intp)
     order = np.lexsort((times, areas))
@@ -93,10 +98,7 @@ def pareto_front(points: Iterable[DesignPoint]) -> List[DesignPoint]:
     for point in candidates:
         if not (math.isfinite(point.area_luts)
                 and math.isfinite(point.seconds_per_frame)):
-            raise ValueError(
-                "Pareto extraction needs finite objectives; got NaN or "
-                "infinite area/time values (an upstream estimate produced "
-                "garbage)")
+            raise ValueError(FINITE_OBJECTIVES_ERROR)
     candidates.sort(key=lambda p: (p.area_luts, p.seconds_per_frame))
     front: List[DesignPoint] = []
     best_time = float("inf")

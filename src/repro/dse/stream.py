@@ -22,9 +22,14 @@ Pieces:
    shape knobs and the cone areas, and per-row area is nondecreasing in the
    primary instance count, so each group's admitted rows form a prefix of
    the count axis found by binary search — O(log rows) scalar probes using
-   the engine's exact accumulation formula.  Rows beyond the prefix are
-   counted in ``pruned_rows`` and never costed; chunks entirely beyond it
-   are never materialized at all.
+   the engine's exact accumulation formula.  A ``min_frames_per_second``
+   floor is monotone along the same axis in the other direction (compute
+   cycles per tile are nonincreasing in the primary count, so the frame
+   rate is nondecreasing): a second binary search on the throughput formula
+   finds the admitted *suffix*, and the intersected [suffix, prefix)
+   interval is what gets costed.  Rows outside the interval are counted in
+   ``pruned_rows`` and never costed; chunks entirely outside it are never
+   materialized at all.
 3. :class:`StreamingFrontier` folds each chunk's admitted objective columns
    into a bounded Pareto state that is byte-identical to
    :func:`repro.dse.pareto.pareto_indices` on the concatenated full arrays
@@ -37,8 +42,23 @@ Pieces:
    keyed by shape knobs + the cone-area inputs + the area constraints, so a
    re-explore that changes only per-run knobs (frame geometry, minimum
    fps) skips the pushdown analysis and re-costs only throughput columns.
-   Counters are exposed through :func:`stream_stats` (the service tier
-   serves them under ``stats()["stream"]``).
+   The throughput-side suffix depends on those per-run knobs, so it is
+   recomputed per call (O(groups·log rows) probes) and deliberately kept
+   out of the cache key.  Counters are exposed through :func:`stream_stats`
+   (the service tier serves them under ``stats()["stream"]``).
+5. Chunks are independent by construction, so ``explore_stream(jobs=N)``
+   fans deterministic contiguous shards of the chunk schedule across an
+   executor strategy (:func:`repro.api.executor.resolve_strategy` — the
+   same ``serial``/``threads``/``processes`` names ``run_many`` accepts).
+   Each worker folds its shard into a private frontier/top-k and ships the
+   bounded state back; the parent reduces with
+   :meth:`StreamingFrontier.merge`/:meth:`StreamingTopK.merge`, which are
+   associative and order-insensitive (the (area, time, global-row) total
+   order makes the merged state a pure function of the union), so the
+   result is bit-identical to the serial fold whatever the worker count,
+   shard assignment, or completion order.  Workers receive chunk
+   *descriptors* (pure index arithmetic), never materialized columns, so a
+   process pool neither pickles tables nor re-warms the shared table cache.
 
 :func:`explore_stream` is the engine-level entry point;
 :meth:`repro.dse.explorer.DesignSpaceExplorer.explore` auto-selects it above
@@ -60,6 +80,7 @@ import numpy as np
 from repro.architecture.enumeration import ArchitectureSpace
 from repro.dse.constraints import DseConstraints
 from repro.dse.design_point import DesignPoint
+from repro.dse.pareto import FINITE_OBJECTIVES_ERROR as _FINITE_ERROR
 from repro.estimation.throughput_model import (
     ConePerformance,
     ThroughputModel,
@@ -84,10 +105,6 @@ MASK_CACHE_CAPACITY = 16
 
 #: Design points the running top-k keeps by default.
 DEFAULT_TOP_K = 8
-
-_FINITE_ERROR = (
-    "Pareto extraction needs finite objectives; got NaN or infinite "
-    "area/time values (an upstream estimate produced garbage)")
 
 
 # ---------------------------------------------------------------------- #
@@ -140,6 +157,21 @@ class StreamingFrontier:
         self._time = times[keep]
         self._order = orders[keep]
 
+    def merge(self, other: "StreamingFrontier") -> "StreamingFrontier":
+        """Fold another frontier's state into this one (in place).
+
+        Associative and commutative: the frontier of a set is the frontier
+        of the union of its parts' frontiers, and the (area, time, order)
+        total order picks the same tie-break representative whichever side
+        it arrives on — so parallel workers can fold disjoint chunk shards
+        independently and reduce in *any* order, with a result bit-identical
+        to one serial fold over everything.  Orders must stay globally
+        unique across the merged parts (disjoint chunk shards guarantee
+        it).  Returns ``self`` for reduction chaining.
+        """
+        self.update(other._area, other._time, other._order)
+        return self
+
     def result(self) -> Tuple["np.ndarray", "np.ndarray", "np.ndarray"]:
         """``(area, time, order)`` of the frontier, in increasing-area order
         (the exact order ``pareto_indices`` would return the same rows in)."""
@@ -179,6 +211,22 @@ class StreamingTopK:
         self._area = areas[rank]
         self._time = times[rank]
         self._order = orders[rank]
+
+    def merge(self, other: "StreamingTopK") -> "StreamingTopK":
+        """Fold another top-k state into this one (in place).
+
+        Associative and commutative like :meth:`StreamingFrontier.merge`:
+        the k smallest of a union are the k smallest of the parts' k
+        smallest, under the same (time, area, order) total order.  Both
+        sides must keep the same ``k`` — merging differently-sized top-k
+        states has no well-defined answer and raises :exc:`ValueError`.
+        """
+        if other.k != self.k:
+            raise ValueError(
+                f"cannot merge top-k states of different k "
+                f"({self.k} != {other.k})")
+        self.update(other._area, other._time, other._order)
+        return self
 
     def result(self) -> Tuple["np.ndarray", "np.ndarray", "np.ndarray"]:
         return self._area.copy(), self._time.copy(), self._order.copy()
@@ -223,12 +271,15 @@ class SpaceChunk:
     def rows(self) -> int:
         return self.count_stop - self.count_start
 
-    def counts(self, stop: Optional[int] = None) -> "np.ndarray":
+    def counts(self, stop: Optional[int] = None,
+               start: Optional[int] = None) -> "np.ndarray":
         """The chunk's primary-count column (``int32``: the enumeration
         bounds counts far below 2**31, and ``estimate_batch`` widens
-        exactly, so the tightening is free)."""
+        exactly, so the tightening is free).  ``start``/``stop`` narrow the
+        range to the pushdown-admitted [suffix, prefix) interval."""
+        start = self.count_start if start is None else start
         stop = self.count_stop if stop is None else stop
-        return np.arange(self.count_start + 1, stop + 1, dtype=np.int32)
+        return np.arange(start + 1, stop + 1, dtype=np.int32)
 
 
 def plan_chunks(space: ArchitectureSpace,
@@ -362,29 +413,85 @@ class _CountingLru:
                     "entries": len(self._entries),
                     "capacity": self._maxsize}
 
+    def reset_stats(self) -> None:
+        """Zero the counters but keep the cached entries."""
+        with self._lock:
+            self._hits = self._misses = self._evictions = 0
+
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
             self._hits = self._misses = self._evictions = 0
 
 
+class _StreamCounters:
+    """Process-wide streamed-run counters behind a dedicated lock.
+
+    The same dedicated-stats-lock pattern as ``SessionStats``: concurrent
+    explorations (service bursts, thread-pool chunk workers reporting
+    through one parent) would otherwise lose increments to read-modify-write
+    races on plain module globals.
+    """
+
+    _FIELDS = ("runs", "parallel_runs", "chunks_materialized",
+               "duplicate_chunk_materializations", "throughput_pruned_rows")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counts = dict.fromkeys(self._FIELDS, 0)
+
+    def add(self, **deltas: int) -> None:
+        with self._lock:
+            for name, delta in deltas.items():
+                self._counts[name] += delta
+
+    def snapshot(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self._counts)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counts = dict.fromkeys(self._FIELDS, 0)
+
+
 _mask_cache = _CountingLru(MASK_CACHE_CAPACITY)
+_counters = _StreamCounters()
 
 
 def stream_stats() -> Dict[str, int]:
-    """Process-wide counters of the streaming engine's mask cache.
+    """Process-wide counters of the streaming engine.
 
-    Served by the service tier under ``stats()["stream"]``: ``hits``
-    growing across jobs is the signature of incremental re-explores (only
-    per-run knobs changed, pushdown analysis reused); ``evictions`` counts
-    distinct (shape, area, constraint) combinations beyond the bound.
+    Served by the service tier under ``stats()["stream"]``.  The mask-cache
+    half (``hits``/``misses``/``evictions``/``entries``/``capacity``):
+    ``hits`` growing across jobs is the signature of incremental
+    re-explores (only per-run knobs changed, pushdown analysis reused);
+    ``evictions`` counts distinct (shape, area, constraint) combinations
+    beyond the bound.  The run half: ``runs``/``parallel_runs`` count
+    streamed explorations (parallel = dispatched to >1 worker),
+    ``chunks_materialized`` the chunks actually costed across them,
+    ``duplicate_chunk_materializations`` how many of those were redundant
+    (always 0 unless the shard partition is broken — asserted in tests),
+    and ``throughput_pruned_rows`` the rows the min-fps suffix pushdown
+    skipped before costing.
     """
-    return _mask_cache.stats()
+    stats = _mask_cache.stats()
+    stats.update(_counters.snapshot())
+    return stats
+
+
+def reset_stream_stats() -> None:
+    """Zero every streaming counter (tests) without dropping cached masks.
+
+    Use :func:`clear_stream_caches` to also forget the admitted-row masks.
+    """
+    _mask_cache.reset_stats()
+    _counters.reset()
 
 
 def clear_stream_caches() -> None:
-    """Reset the mask cache (tests and benchmarks)."""
+    """Reset the mask cache and all counters (tests and benchmarks)."""
     _mask_cache.clear()
+    _counters.reset()
 
 
 def _mask_cache_key(space: ArchitectureSpace,
@@ -468,6 +575,168 @@ class _GroupContext:
     cone_performance: Dict[int, ConePerformance]
 
 
+def _group_context(space: ArchitectureSpace,
+                   characterizations: Mapping[Tuple[int, int],
+                                              "ConeCharacterization"],
+                   window: int, split: Tuple[int, ...]) -> _GroupContext:
+    """Build one group's evaluation context from pure index arithmetic.
+
+    Shared by the fold workers, the throughput-pushdown probes, and the
+    point builder — a worker process rebuilds contexts from the (small,
+    picklable) space + characterizations instead of receiving materialized
+    columns, so chunk shards ship as descriptors only.
+    """
+    depths = sorted(set(split))
+    area_by_depth = {
+        depth: characterizations[(window, depth)].area_luts
+        for depth in depths}
+    return _GroupContext(
+        window=window, split=split, depths=depths,
+        primary=depths[-1], area_by_depth=area_by_depth,
+        area_estimated=any(
+            not characterizations[(window, depth)].synthesized
+            for depth in depths),
+        representative=space.materialize_row_parts(window, split, 1),
+        cone_performance={
+            depth: ConePerformance(
+                depth=depth, window_side=window,
+                latency_cycles=characterizations[
+                    (window, depth)].latency_cycles,
+                initiation_interval=1)
+            for depth in depths})
+
+
+@dataclass(frozen=True)
+class _GroupPlan:
+    """One group's final admitted count-axis interval for one exploration.
+
+    ``[start, stop)`` is the intersection of the area-admitted prefix
+    (cached across per-run knob changes) with the throughput-admitted
+    suffix (recomputed per call — it depends on frame geometry and the fps
+    floor).  ``post_filter`` marks groups where the suffix probe declined
+    (non-monotone overrides, nonpositive frame times): the min-fps floor is
+    then applied after costing, exactly like the columnar engine.
+    """
+
+    evaluable: bool
+    start: int
+    stop: int
+    post_filter: bool
+
+
+def _throughput_admitted_start(admit_len: int, min_fps: float,
+                               context: _GroupContext,
+                               throughput_model: ThroughputModel,
+                               frame_width: int,
+                               frame_height: int) -> Optional[int]:
+    """Zero-based count index where the fps-admitted suffix begins.
+
+    Compute cycles per tile are nonincreasing in the primary instance count
+    (more instances, fewer serialized execution batches), and every other
+    term of the frame time is count-constant, so ``frames_per_second`` is
+    nondecreasing along the count axis and a min-fps floor admits a suffix
+    ``[start, admit_len)`` — found by O(log n) single-count probes of the
+    exact batch formula (elementwise over the count axis, hence
+    bit-identical to the full-column values).  Returns ``None`` when the
+    monotonicity argument does not hold and the caller must fall back to
+    post-cost filtering: a (pathological) negative execution interval on
+    the primary level, or a nonpositive frame time anywhere in the prefix
+    (``frames_per_second`` snaps to 0 there, breaking the suffix shape).
+    """
+    def columns_at(count: int) -> Mapping[str, object]:
+        return throughput_model.estimate_batch(
+            context.representative, context.cone_performance,
+            frame_width, frame_height,
+            np.asarray([count], dtype=np.int64))
+
+    interval = throughput_model.execution_interval_cycles(
+        context.representative, context.primary,
+        context.cone_performance[context.primary])
+    if interval < 0:
+        return None
+    tail = columns_at(admit_len)
+    # seconds_per_frame is nonincreasing in the count, so its minimum over
+    # the prefix sits at admit_len: positive there means positive (and the
+    # fps column exactly 1/seconds) everywhere.
+    if not float(tail["seconds_per_frame"][0]) > 0.0:
+        return None
+
+    def admits(count: int) -> bool:
+        return bool(columns_at(count)["frames_per_second"][0] >= min_fps)
+
+    if not bool(tail["frames_per_second"][0] >= min_fps):
+        return admit_len  # even the fastest admitted row fails the floor
+    if admits(1):
+        return 0
+    low, high = 1, admit_len  # fps(low) fails the floor, fps(high) passes
+    while high - low > 1:
+        mid = (low + high) // 2
+        if admits(mid):
+            high = mid
+        else:
+            low = mid
+    return high - 1  # count `high` is the smallest admitted count
+
+
+def _plan_groups(space: ArchitectureSpace,
+                 splits: Tuple[Tuple[int, ...], ...],
+                 characterizations: Mapping[Tuple[int, int],
+                                            "ConeCharacterization"],
+                 throughput_model: ThroughputModel,
+                 frame_width: int, frame_height: int,
+                 constraints: DseConstraints,
+                 admissions: Mapping[Tuple[int, int], _GroupAdmission]
+                 ) -> Tuple[Dict[Tuple[int, int], _GroupPlan], int]:
+    """Intersect the cached area prefixes with the fps suffix per group.
+
+    Returns the per-group plans plus the total rows the throughput-side
+    pushdown pruned (rows inside the area prefix but below the floor).
+    The suffix probe is gated on the stock batch formula
+    (:func:`repro.dse.engine.supports_columnar`); models that override it
+    keep the post-cost filter, bit-identical either way.
+    """
+    min_fps = constraints.min_frames_per_second
+    if min_fps is not None:
+        # lazy: keeps `import repro.dse.stream` NumPy+stdlib-only (the
+        # check.sh import guard); engine is equally light but imports the
+        # enumeration table machinery this module exists to avoid.
+        from repro.dse.engine import supports_columnar
+        pushdown = supports_columnar(throughput_model)
+    else:
+        pushdown = False
+    plans: Dict[Tuple[int, int], _GroupPlan] = {}
+    fps_pruned = 0
+    for group_key, admission in admissions.items():
+        if (not admission.evaluable or admission.admit_len <= 0
+                or min_fps is None):
+            plans[group_key] = _GroupPlan(
+                evaluable=admission.evaluable, start=0,
+                stop=admission.admit_len, post_filter=False)
+            continue
+        if not pushdown:
+            plans[group_key] = _GroupPlan(
+                evaluable=True, start=0, stop=admission.admit_len,
+                post_filter=True)
+            continue
+        window_index, split_index = group_key
+        context = _group_context(space, characterizations,
+                                 space.window_sides[window_index],
+                                 splits[split_index])
+        start = _throughput_admitted_start(
+            admission.admit_len, min_fps, context, throughput_model,
+            frame_width, frame_height)
+        if start is None:
+            plans[group_key] = _GroupPlan(
+                evaluable=True, start=0, stop=admission.admit_len,
+                post_filter=True)
+        else:
+            fps_pruned += start
+            plans[group_key] = _GroupPlan(
+                evaluable=True, start=start, stop=admission.admit_len,
+                post_filter=False)
+    return plans, fps_pruned
+
+
 @dataclass
 class StreamingExploration:
     """What :func:`explore_stream` produces.
@@ -483,22 +752,146 @@ class StreamingExploration:
     pruned_rows: int
     chunk_rows: int
     chunks_total: int
-    #: Chunks never materialized: fully pruned by pushdown, past the
-    #: admitted prefix, or in a group without characterizations.
+    #: Chunks never materialized: fully pruned by pushdown, outside the
+    #: admitted interval, or in a group without characterizations.
     chunks_skipped: int
-    #: Largest number of rows actually materialized at once.
+    #: Largest number of rows actually materialized at once (per worker).
     peak_chunk_rows: int
-    #: Largest frontier state observed while streaming.
+    #: Largest frontier state observed while streaming (on any worker, or
+    #: after a merge).
     frontier_peak: int
     mask_cache_hit: bool
     pareto_row_index: "np.ndarray"
     pareto: List[DesignPoint]
     top_k: int
     top_points: List[DesignPoint]
+    #: Rows pruned by the min-fps suffix pushdown (included in
+    #: ``pruned_rows``); 0 when no floor was set or the model declined.
+    throughput_pruned_rows: int = 0
+    #: Effective worker count the chunk schedule was dispatched across.
+    jobs: int = 1
 
     @property
     def pruned_fraction(self) -> float:
         return self.pruned_rows / self.space_rows if self.space_rows else 0.0
+
+
+def _validate_jobs(jobs: Optional[int]) -> int:
+    """The effective worker count (``None`` means serial in-process)."""
+    if jobs is None:
+        return 1
+    if isinstance(jobs, bool) or not isinstance(jobs, int) or jobs < 1:
+        raise ValueError(
+            f"jobs must be a positive integer or None (got {jobs!r})")
+    return jobs
+
+
+def _shard_schedule(schedule: Sequence[int], jobs: int) -> List[List[int]]:
+    """Split the chunk schedule into up to ``jobs`` contiguous shards.
+
+    Contiguous slices keep each worker's group contexts warm (consecutive
+    chunks usually share a group); the balanced bounds are a pure function
+    of (len, jobs), so the partition — like everything else here — is
+    deterministic.  Merge associativity makes the results independent of
+    the partition anyway; this only shapes the wall-clock.
+    """
+    total = len(schedule)
+    if total == 0:
+        return [[]]
+    jobs = min(jobs, total)
+    bounds = [round(shard * total / jobs) for shard in range(jobs + 1)]
+    return [list(schedule[bounds[i]:bounds[i + 1]])
+            for i in range(jobs) if bounds[i] < bounds[i + 1]]
+
+
+#: One shard's work order: everything a worker needs to fold its chunks,
+#: descriptors only (picklable for process pools; no tables, no columns).
+_ShardPayload = Tuple
+
+
+def _fold_chunk_shard(payload: _ShardPayload) -> Dict[str, object]:
+    """Worker entry point: fold one shard of chunks into private state.
+
+    Runs identically on the calling thread (serial path), in a thread pool,
+    or in a worker process — it touches no module-level mutable state (the
+    counters are updated by the parent from the returned report, so process
+    workers are not special-cased).  Returns the private frontier/top-k
+    plus the shard's accounting and the global indices of the chunks it
+    materialized (the parent asserts the shards did not overlap).
+    """
+    (space, characterizations, throughput_model, frame_width, frame_height,
+     shard, plans, top_k, min_fps) = payload
+    frontier = StreamingFrontier()
+    topk = StreamingTopK(top_k)
+    contexts: Dict[Tuple[int, int], _GroupContext] = {}
+    admitted_rows = 0
+    chunks_skipped = 0
+    peak_chunk_rows = 0
+    frontier_peak = 0
+    materialized: List[int] = []
+
+    for chunk_index, chunk in shard:
+        group_key = (chunk.window_index, chunk.split_index)
+        plan = plans[group_key]
+        start = max(chunk.count_start, plan.start)
+        stop = min(chunk.count_stop, plan.stop)
+        if not plan.evaluable or stop <= start:
+            chunks_skipped += 1
+            continue
+        context = contexts.get(group_key)
+        if context is None:
+            context = _group_context(space, characterizations,
+                                     chunk.window, chunk.split)
+            contexts[group_key] = context
+
+        counts = chunk.counts(start=start, stop=stop)
+        materialized.append(chunk_index)
+        peak_chunk_rows = max(peak_chunk_rows, int(counts.size))
+        area = _group_area(counts, context.depths, context.primary,
+                           context.area_by_depth)
+        columns = throughput_model.estimate_batch(
+            context.representative, context.cone_performance,
+            frame_width, frame_height, counts)
+        times = np.asarray(columns["seconds_per_frame"])
+        rows = chunk.base_row + np.arange(start, stop, dtype=np.int64)
+        if plan.post_filter and min_fps is not None:
+            admitted = columns["frames_per_second"] >= min_fps
+            area, times, rows = area[admitted], times[admitted], rows[admitted]
+        if rows.size == 0:
+            continue
+        admitted_rows += int(rows.size)
+        frontier.update(area, times, rows)
+        topk.update(area, times, rows)
+        frontier_peak = max(frontier_peak, len(frontier))
+
+    return {"frontier": frontier, "topk": topk,
+            "admitted_rows": admitted_rows,
+            "chunks_skipped": chunks_skipped,
+            "peak_chunk_rows": peak_chunk_rows,
+            "frontier_peak": frontier_peak,
+            "materialized": materialized}
+
+
+def _map_shards(payloads: List[_ShardPayload], executor: object,
+                jobs: int) -> List[Dict[str, object]]:
+    """Dispatch shard payloads through an executor strategy.
+
+    ``executor`` is anything :func:`repro.api.executor.resolve_strategy`
+    accepts (``None`` → ``"threads"``, a registered name, or a strategy
+    instance).  Strategies expose chunk-shard fan-out through
+    ``map_tasks(fn, payloads, max_workers)``; one without it (a custom
+    ``run_batch``-only backend) degrades to an in-process loop — correct,
+    just not parallel.
+    """
+    # lazy: keeps `import repro.dse.stream` NumPy+stdlib-only (the check.sh
+    # import guard) and avoids the api-layer dependency on the serial path.
+    from repro.api.executor import resolve_strategy
+
+    strategy = resolve_strategy(executor)
+    map_tasks = getattr(strategy, "map_tasks", None)
+    if map_tasks is None:
+        return [_fold_chunk_shard(payload) for payload in payloads]
+    return list(map_tasks(_fold_chunk_shard, payloads, max_workers=jobs))
 
 
 def explore_stream(space: ArchitectureSpace,
@@ -511,24 +904,35 @@ def explore_stream(space: ArchitectureSpace,
                    chunk_rows: int = DEFAULT_CHUNK_ROWS,
                    top_k: int = DEFAULT_TOP_K,
                    chunk_order: Optional[Sequence[int]] = None,
-                   use_mask_cache: bool = True) -> StreamingExploration:
+                   use_mask_cache: bool = True,
+                   jobs: Optional[int] = None,
+                   executor: object = None) -> StreamingExploration:
     """Evaluate a whole architecture space at bounded memory.
 
     Visits the same candidates as :func:`repro.dse.engine.explore_columnar`
     and produces the identical Pareto frontier (same design points, same
-    order, bit-identical serializations) and the identical ``pruned_rows``
-    count — whatever ``chunk_rows`` is and whatever order ``chunk_order``
-    (a permutation of the planned chunk indices, mainly for tests)
-    processes the chunks in.  Peak memory is bounded by the chunk size
-    plus the frontier/top-k state, never by the space.
+    order, bit-identical serializations) — whatever ``chunk_rows`` is,
+    whatever order ``chunk_order`` (a permutation of the planned chunk
+    indices, mainly for tests) processes the chunks in, and whatever
+    ``jobs``/``executor`` the chunk schedule is dispatched across (shards
+    fold privately and reduce via the associative ``merge``).  Peak memory
+    is bounded by the per-worker chunk size plus the frontier/top-k state,
+    never by the space.
+
+    ``pruned_rows`` counts every row skipped before costing: the area-side
+    prefix pushdown (identical to the columnar engine's accounting) plus
+    the min-fps suffix pushdown (``throughput_pruned_rows``; the columnar
+    engine filters those after costing without counting them), so with an
+    fps floor ``admitted_rows + pruned_rows`` covers all evaluable rows.
     """
     constraints = constraints or DseConstraints()
+    jobs = _validate_jobs(jobs)
     chunks = plan_chunks(space, chunk_rows)
     splits = tuple(tuple(split) for split in space.level_splits())
     n_counts = space.max_cones_per_depth
 
     if chunk_order is None:
-        schedule: Sequence[int] = range(len(chunks))
+        schedule: List[int] = list(range(len(chunks)))
     else:
         schedule = list(chunk_order)
         if sorted(schedule) != list(range(len(chunks))):
@@ -543,73 +947,52 @@ def explore_stream(space: ArchitectureSpace,
                                          constraints, usable_luts)
         if use_mask_cache:
             _mask_cache.put(key, admissions)
-    pruned_rows = sum(entry.pruned for entry in admissions.values())
+    plans, throughput_pruned = _plan_groups(
+        space, splits, characterizations, throughput_model,
+        frame_width, frame_height, constraints, admissions)
+    pruned_rows = (sum(entry.pruned for entry in admissions.values())
+                   + throughput_pruned)
+
+    min_fps = constraints.min_frames_per_second
+    shards = _shard_schedule(schedule, jobs) if jobs > 1 else [schedule]
+    payloads = [
+        (space, characterizations, throughput_model, frame_width,
+         frame_height, [(index, chunks[index]) for index in shard],
+         plans, top_k, min_fps)
+        for shard in shards]
+    if len(payloads) > 1:
+        folds = _map_shards(payloads, executor, jobs)
+    else:
+        folds = [_fold_chunk_shard(payload) for payload in payloads]
 
     frontier = StreamingFrontier()
     topk = StreamingTopK(top_k)
-    contexts: Dict[Tuple[int, int], _GroupContext] = {}
     admitted_rows = 0
     chunks_skipped = 0
     peak_chunk_rows = 0
     frontier_peak = 0
-
-    for chunk_index in schedule:
-        chunk = chunks[chunk_index]
-        group_key = (chunk.window_index, chunk.split_index)
-        admission = admissions[group_key]
-        admitted_stop = min(chunk.count_stop, admission.admit_len)
-        if not admission.evaluable or admitted_stop <= chunk.count_start:
-            chunks_skipped += 1
-            continue
-        context = contexts.get(group_key)
-        if context is None:
-            depths = sorted(set(chunk.split))
-            area_by_depth = {
-                depth: characterizations[(chunk.window, depth)].area_luts
-                for depth in depths}
-            context = _GroupContext(
-                window=chunk.window, split=chunk.split, depths=depths,
-                primary=depths[-1], area_by_depth=area_by_depth,
-                area_estimated=any(
-                    not characterizations[(chunk.window, depth)].synthesized
-                    for depth in depths),
-                representative=space.materialize_row_parts(
-                    chunk.window, chunk.split, 1),
-                cone_performance={
-                    depth: ConePerformance(
-                        depth=depth, window_side=chunk.window,
-                        latency_cycles=characterizations[
-                            (chunk.window, depth)].latency_cycles,
-                        initiation_interval=1)
-                    for depth in depths})
-            contexts[group_key] = context
-
-        counts = chunk.counts(stop=admitted_stop)
-        peak_chunk_rows = max(peak_chunk_rows, int(counts.size))
-        area = _group_area(counts, context.depths, context.primary,
-                           context.area_by_depth)
-        columns = throughput_model.estimate_batch(
-            context.representative, context.cone_performance,
-            frame_width, frame_height, counts)
-        times = np.asarray(columns["seconds_per_frame"])
-        rows = chunk.base_row + np.arange(chunk.count_start,
-                                          admitted_stop, dtype=np.int64)
-        if constraints.min_frames_per_second is not None:
-            admitted = (columns["frames_per_second"]
-                        >= constraints.min_frames_per_second)
-            area, times, rows = area[admitted], times[admitted], rows[admitted]
-        if rows.size == 0:
-            continue
-        admitted_rows += int(rows.size)
-        frontier.update(area, times, rows)
-        topk.update(area, times, rows)
-        frontier_peak = max(frontier_peak, len(frontier))
+    materialized: List[int] = []
+    for fold in folds:
+        frontier.merge(fold["frontier"])
+        topk.merge(fold["topk"])
+        admitted_rows += fold["admitted_rows"]
+        chunks_skipped += fold["chunks_skipped"]
+        peak_chunk_rows = max(peak_chunk_rows, fold["peak_chunk_rows"])
+        frontier_peak = max(frontier_peak, fold["frontier_peak"],
+                            len(frontier))
+        materialized.extend(fold["materialized"])
+    duplicates = len(materialized) - len(set(materialized))
+    _counters.add(runs=1,
+                  parallel_runs=1 if len(folds) > 1 else 0,
+                  chunks_materialized=len(materialized),
+                  duplicate_chunk_materializations=duplicates,
+                  throughput_pruned_rows=throughput_pruned)
 
     pareto_area, _pareto_time, pareto_rows = frontier.result()
     top_area, _top_time, top_rows = topk.result()
     builder = _PointBuilder(space, characterizations, throughput_model,
                             frame_width, frame_height, usable_luts,
-                            splits, n_counts, contexts)
+                            splits, n_counts)
     return StreamingExploration(
         space_rows=space.size(),
         admitted_rows=admitted_rows,
@@ -624,6 +1007,8 @@ def explore_stream(space: ArchitectureSpace,
         pareto=builder.build(pareto_rows, pareto_area),
         top_k=top_k,
         top_points=builder.build(top_rows, top_area),
+        throughput_pruned_rows=throughput_pruned,
+        jobs=len(folds),
     )
 
 
@@ -634,12 +1019,14 @@ class _PointBuilder:
     survivors' counts, batched per (window, split) group; every column is
     elementwise over the count axis, so the subset evaluation reproduces
     the full-table values bit for bit (the stored frontier areas are reused
-    directly — they came from the same accumulation).
+    directly — they came from the same accumulation).  Group contexts are
+    rebuilt lazily per surviving group: the fold may have happened on
+    worker threads or in worker processes, so the parent holds none.
     """
 
     def __init__(self, space, characterizations, throughput_model,
-                 frame_width, frame_height, usable_luts, splits, n_counts,
-                 contexts: Dict[Tuple[int, int], _GroupContext]) -> None:
+                 frame_width, frame_height, usable_luts, splits,
+                 n_counts) -> None:
         self.space = space
         self.characterizations = characterizations
         self.throughput_model = throughput_model
@@ -648,7 +1035,17 @@ class _PointBuilder:
         self.usable_luts = usable_luts
         self.splits = splits
         self.n_counts = n_counts
-        self.contexts = contexts
+        self.contexts: Dict[Tuple[int, int], _GroupContext] = {}
+
+    def _context(self, group: Tuple[int, int]) -> _GroupContext:
+        context = self.contexts.get(group)
+        if context is None:
+            window_index, split_index = group
+            context = _group_context(self.space, self.characterizations,
+                                     self.space.window_sides[window_index],
+                                     self.splits[split_index])
+            self.contexts[group] = context
+        return context
 
     def build(self, rows: "np.ndarray",
               areas: "np.ndarray") -> List[DesignPoint]:
@@ -664,7 +1061,7 @@ class _PointBuilder:
             group = (int(window_index[position]), int(split_index[position]))
             by_group.setdefault(group, []).append(position)
         for group, positions in by_group.items():
-            context = self.contexts[group]
+            context = self._context(group)
             counts = np.asarray([int(count_index[p]) + 1 for p in positions],
                                 dtype=np.int64)
             columns = self.throughput_model.estimate_batch(

@@ -1,10 +1,12 @@
-"""Tests for the out-of-core chunked exploration engine (ISSUE 7 tentpole).
+"""Tests for the out-of-core chunked exploration engine (ISSUE 7 tentpole;
+parallel dispatch + throughput-side pushdown from ISSUE 9).
 
 The headline property: whatever the chunk size {1 row, group-sized, the
-whole space} and whatever the chunk order, ``explore_stream`` produces the
-identical Pareto frontier — same global rows, byte-identical serialized
-design points — and the identical ``pruned_rows`` count as the columnar
-oracle ``explore_columnar``.
+whole space}, whatever the chunk order, and whatever the worker count /
+executor strategy, ``explore_stream`` produces the identical Pareto
+frontier — same global rows, byte-identical serialized design points — as
+the columnar oracle ``explore_columnar``; its ``pruned_rows`` additionally
+counts the rows the min-fps suffix pushdown skipped before costing.
 """
 
 import json
@@ -14,15 +16,17 @@ import numpy as np
 import pytest
 
 from repro.dse.constraints import DseConstraints
-from repro.dse.engine import explore_columnar
+from repro.dse.engine import explore_columnar, shared_table_stats
 from repro.dse.explorer import DesignSpaceExplorer, ExplorationResult
 from repro.dse.stream import (
     DEFAULT_CHUNK_ROWS,
     SpaceChunk,
     StreamingFrontier,
+    StreamingTopK,
     clear_stream_caches,
     explore_stream,
     plan_chunks,
+    reset_stream_stats,
     stream_stats,
 )
 from repro.estimation.throughput_model import ThroughputModel
@@ -95,7 +99,11 @@ class TestDigestIdentity:
                                           oracle_rows)
                     assert (serialized_points(streamed.pareto)
                             == oracle_digest)
-                    assert streamed.pruned_rows == oracle.pruned_rows
+                    # the oracle never counts fps-filtered rows as pruned;
+                    # the stream pushes the floor down and does
+                    assert (streamed.pruned_rows
+                            - streamed.throughput_pruned_rows
+                            == oracle.pruned_rows)
                     assert streamed.admitted_rows == oracle.admitted_rows
 
     def test_peak_chunk_never_exceeds_the_bound(self, evaluation_inputs):
@@ -127,16 +135,211 @@ class TestConstraintPushdown:
         assert (streamed.admitted_rows + streamed.pruned_rows
                 == baseline.admitted_rows)
 
-    def test_min_fps_is_filtered_after_costing_not_pruned(
+    def test_unreachable_fps_floor_prunes_everything_before_costing(
             self, evaluation_inputs):
         explorer, space, characterizations, usable = evaluation_inputs
         constraints = DseConstraints(min_frames_per_second=1e12)
         streamed = explore_stream(space, characterizations,
                                   explorer.throughput_model, 128, 96,
                                   constraints, usable)
-        assert streamed.pruned_rows == 0      # throughput is a run knob
-        assert streamed.admitted_rows == 0    # nothing survives the filter
+        assert streamed.pruned_rows == space.size()
+        assert streamed.throughput_pruned_rows == space.size()
+        assert streamed.admitted_rows == 0
         assert streamed.pareto == []
+        # nothing survived the suffix probe, so no chunk was ever costed
+        assert streamed.chunks_skipped == streamed.chunks_total
+        assert streamed.peak_chunk_rows == 0
+
+
+class TestThroughputPushdown:
+    """The min-fps suffix probe admits exactly what post-cost filtering
+    admits (satellite: differential on 3 constraint sets)."""
+
+    def fps_floors(self, baseline):
+        fps = np.sort(1.0 / baseline.seconds_per_frame)
+        return [float(fps[fps.size // 4]), float(np.median(fps)),
+                float(fps[(9 * fps.size) // 10])]
+
+    def test_admits_exactly_the_post_cost_filter_rows(
+            self, evaluation_inputs):
+        explorer, space, characterizations, usable = evaluation_inputs
+        baseline = explore_columnar(space, characterizations,
+                                    explorer.throughput_model, 128, 96)
+        area_cap = float(np.median(baseline.area_luts))
+        for floor in self.fps_floors(baseline):
+            for extra in ({}, {"max_area_luts": area_cap,
+                               "device_only": True}):
+                constraints = DseConstraints(min_frames_per_second=floor,
+                                             **extra)
+                no_fps = explore_columnar(
+                    space, characterizations, explorer.throughput_model,
+                    128, 96, DseConstraints(**extra), usable)
+                oracle = explore_columnar(
+                    space, characterizations, explorer.throughput_model,
+                    128, 96, constraints, usable, materialize="frontier")
+                streamed = explore_stream(
+                    space, characterizations, explorer.throughput_model,
+                    128, 96, constraints, usable, chunk_rows=2)
+                assert streamed.admitted_rows == oracle.admitted_rows
+                assert np.array_equal(
+                    streamed.pareto_row_index,
+                    oracle.row_index[oracle.pareto_index])
+                assert (serialized_points(streamed.pareto)
+                        == serialized_points(oracle.pareto))
+                # the pushdown pruned exactly the rows the oracle costed
+                # and then dropped to the post-cost fps mask
+                assert (streamed.throughput_pruned_rows
+                        == no_fps.admitted_rows - oracle.admitted_rows)
+                assert (streamed.admitted_rows + streamed.pruned_rows
+                        == space.size())
+
+    def test_fps_floor_raises_pruned_rows_over_the_oracle(
+            self, evaluation_inputs):
+        explorer, space, characterizations, usable = evaluation_inputs
+        baseline = explore_columnar(space, characterizations,
+                                    explorer.throughput_model, 128, 96)
+        constraints = DseConstraints(
+            min_frames_per_second=self.fps_floors(baseline)[1])
+        oracle = explore_columnar(space, characterizations,
+                                  explorer.throughput_model, 128, 96,
+                                  constraints, usable)
+        streamed = explore_stream(space, characterizations,
+                                  explorer.throughput_model, 128, 96,
+                                  constraints, usable)
+        assert streamed.throughput_pruned_rows > 0
+        assert streamed.pruned_rows > oracle.pruned_rows == 0
+        assert stream_stats()["throughput_pruned_rows"] > 0
+
+    def test_non_monotone_model_falls_back_to_post_cost_filter(
+            self, evaluation_inputs):
+        class NegativeInterval(ThroughputModel):
+            """Columnar-capable, but the monotonicity argument is void."""
+
+            def execution_interval_cycles(self, architecture, depth,
+                                          performance):
+                return -super().execution_interval_cycles(
+                    architecture, depth, performance)
+
+        explorer, space, characterizations, usable = evaluation_inputs
+        model = NegativeInterval(device=explorer.device,
+                                 data_format=explorer.data_format)
+        constraints = DseConstraints(min_frames_per_second=1.0)
+        oracle = explore_columnar(space, characterizations, model,
+                                  128, 96, constraints, usable,
+                                  materialize="frontier")
+        streamed = explore_stream(space, characterizations, model,
+                                  128, 96, constraints, usable,
+                                  chunk_rows=3)
+        assert streamed.throughput_pruned_rows == 0  # probe declined
+        assert streamed.admitted_rows == oracle.admitted_rows
+        assert (serialized_points(streamed.pareto)
+                == serialized_points(oracle.pareto))
+
+    def test_fps_floor_change_still_reuses_cached_masks(
+            self, evaluation_inputs):
+        explorer, space, characterizations, usable = evaluation_inputs
+        baseline = explore_columnar(space, characterizations,
+                                    explorer.throughput_model, 128, 96)
+        floors = self.fps_floors(baseline)
+        first = explore_stream(
+            space, characterizations, explorer.throughput_model, 128, 96,
+            DseConstraints(min_frames_per_second=floors[0]), usable)
+        second = explore_stream(
+            space, characterizations, explorer.throughput_model, 128, 96,
+            DseConstraints(min_frames_per_second=floors[2]), usable)
+        assert not first.mask_cache_hit
+        assert second.mask_cache_hit  # the floor is not in the mask key
+        oracle = explore_columnar(
+            space, characterizations, explorer.throughput_model, 128, 96,
+            DseConstraints(min_frames_per_second=floors[2]), usable,
+            materialize="frontier")
+        assert (serialized_points(second.pareto)
+                == serialized_points(oracle.pareto))
+
+
+class TestParallelDispatch:
+    """Multi-worker chunk dispatch is bit-identical to the serial fold
+    across executor strategies, worker counts, and shuffled schedules."""
+
+    def test_bit_identity_across_jobs_executors_and_orders(
+            self, evaluation_inputs):
+        explorer, space, characterizations, usable = evaluation_inputs
+        constraints = DseConstraints(device_only=True)
+        serial = explore_stream(space, characterizations,
+                                explorer.throughput_model, 128, 96,
+                                constraints, usable, chunk_rows=2)
+        digest = serialized_points(serial.pareto)
+        order = list(range(len(plan_chunks(space, 2))))
+        random.Random(11).shuffle(order)
+        for jobs in (1, 2, 4):
+            for executor in ("serial", "threads"):
+                for chunk_order in (None, order):
+                    streamed = explore_stream(
+                        space, characterizations, explorer.throughput_model,
+                        128, 96, constraints, usable, chunk_rows=2,
+                        chunk_order=chunk_order, jobs=jobs,
+                        executor=executor)
+                    assert np.array_equal(streamed.pareto_row_index,
+                                          serial.pareto_row_index)
+                    assert serialized_points(streamed.pareto) == digest
+                    assert streamed.admitted_rows == serial.admitted_rows
+                    assert streamed.pruned_rows == serial.pruned_rows
+                    assert (serialized_points(streamed.top_points)
+                            == serialized_points(serial.top_points))
+                    assert streamed.jobs == min(jobs, len(order))
+        assert stream_stats()["duplicate_chunk_materializations"] == 0
+
+    def test_workers_get_descriptors_and_never_touch_the_table_cache(
+            self, evaluation_inputs):
+        explorer, space, characterizations, usable = evaluation_inputs
+        reset_stream_stats()
+        before = shared_table_stats()
+        streamed = explore_stream(space, characterizations,
+                                  explorer.throughput_model, 128, 96,
+                                  usable_luts=usable, chunk_rows=2,
+                                  jobs=4, executor="threads")
+        after = shared_table_stats()
+        assert streamed.jobs == 4
+        assert (after["hits"], after["misses"]) == (before["hits"],
+                                                    before["misses"])
+        stats = stream_stats()
+        assert stats["parallel_runs"] == 1 and stats["runs"] == 1
+        assert stats["chunks_materialized"] > 0
+        assert stats["duplicate_chunk_materializations"] == 0
+
+    @pytest.mark.slow
+    @pytest.mark.par
+    def test_processes_executor_is_digest_identical(self,
+                                                    evaluation_inputs):
+        explorer, space, characterizations, usable = evaluation_inputs
+        constraints = DseConstraints(device_only=True,
+                                     min_frames_per_second=1.0)
+        serial = explore_stream(space, characterizations,
+                                explorer.throughput_model, 128, 96,
+                                constraints, usable, chunk_rows=2)
+        forked = explore_stream(space, characterizations,
+                                explorer.throughput_model, 128, 96,
+                                constraints, usable, chunk_rows=2,
+                                jobs=2, executor="processes")
+        assert forked.jobs == 2
+        assert np.array_equal(forked.pareto_row_index,
+                              serial.pareto_row_index)
+        assert (serialized_points(forked.pareto)
+                == serialized_points(serial.pareto))
+        assert forked.admitted_rows == serial.admitted_rows
+        assert stream_stats()["duplicate_chunk_materializations"] == 0
+
+    def test_invalid_jobs_rejected(self, evaluation_inputs):
+        explorer, space, characterizations, usable = evaluation_inputs
+        for bad in (0, -1, True, 2.5):
+            with pytest.raises(ValueError, match="jobs"):
+                explore_stream(space, characterizations,
+                               explorer.throughput_model, 128, 96,
+                               usable_luts=usable, jobs=bad)
+
+    def test_topk_merge_rejects_mismatched_k(self):
+        with pytest.raises(ValueError, match="different k"):
+            StreamingTopK(3).merge(StreamingTopK(4))
 
 
 class TestMaskCache:
@@ -243,6 +446,18 @@ class TestExplorerIntegration:
         assert streamed.design_points == streamed.pareto
         payload = streamed.to_dict()
         assert all(isinstance(entry, int) for entry in payload["pareto"])
+
+    def test_stream_jobs_matches_the_serial_stream(self, igf_kernel):
+        explorer = small_explorer(igf_kernel)
+        serial = explorer.explore(6, 128, 96, stream=True, chunk_rows=2)
+        parallel = explorer.explore(6, 128, 96, stream=True, chunk_rows=2,
+                                    stream_jobs=4, stream_executor="serial")
+        assert (serialized_points(parallel.pareto)
+                == serialized_points(serial.pareto))
+        assert serial.streaming["stream_jobs"] == 1
+        assert parallel.streaming["stream_jobs"] == 4
+        assert (parallel.streaming["pruned_rows"]
+                == serial.streaming["pruned_rows"])
 
     def test_streaming_result_round_trips_through_json(self, igf_kernel):
         explorer = small_explorer(igf_kernel)
