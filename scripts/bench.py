@@ -55,6 +55,15 @@ chunk-shard workers under an fps floor, recording both walls, the speedup
 fold by much, like ``executor_scaling``), the pruned fraction including
 the throughput-side suffix pushdown, and the digest-identity verdict.
 
+And an ``obs_overhead`` section (skip with ``--skip-obs``): the 4 unique
+service-burst scenarios run through a threaded ``run_many`` batch with
+tracing off and again with tracing on (full span recording into a
+:class:`repro.obs.trace.TraceStore` under a root span), recording both
+walls and the relative overhead.  The section *asserts* the subsystem's
+two headline guarantees — the traced and untraced result digests are
+byte-identical, and the overhead stays under 5% — and raises if either
+fails, so a recorded section is the proof.
+
 And a ``simulation_throughput`` section (skip with ``--skip-sim``): a
 640x480 blur frame pushed through the vectorized
 :class:`repro.simulation.FunctionalConeSimulator` and through the
@@ -425,6 +434,90 @@ def run_fleet_throughput() -> dict:
     }
 
 
+def run_obs_overhead(repeats=3, max_overhead=0.05) -> dict:
+    """Measure the cost of full tracing on a threaded exploration batch.
+
+    The 4 unique service-burst scenarios run through ``run_many`` with
+    the recorder off and again with every span recorded into a dedicated
+    :class:`~repro.obs.trace.TraceStore` under a root span — the
+    heaviest-instrumented path (session + stage + executor spans per
+    workload).  One untimed warmup pass warms the process-global shared
+    tables so both timed passes pay only exploration; each pass is timed
+    ``repeats`` times and the best wall recorded.  Raises if the traced
+    and untraced result digests diverge or the overhead reaches
+    ``max_overhead`` — the subsystem's ~zero-cost-disabled and
+    bit-neutrality guarantees are asserted, not just reported.
+    """
+    import hashlib
+
+    from repro.obs import trace as obs_trace
+
+    workloads = list(dict.fromkeys(_service_burst()))
+
+    def digest(results):
+        return hashlib.sha256(json.dumps(
+            [result.to_dict() for result in results],
+            sort_keys=True).encode("utf-8")).hexdigest()
+
+    def run_once():
+        return Session().run_many(workloads, max_workers=2,
+                                  executor="threads")
+
+    run_once()  # warmup: shared characterization tables, not timed
+
+    def best_wall(run):
+        wall, digests = float("inf"), set()
+        for _ in range(repeats):
+            started = time.perf_counter()
+            results = run()
+            wall = min(wall, time.perf_counter() - started)
+            digests.add(digest(results))
+        return wall, digests
+
+    untraced_wall, untraced_digests = best_wall(run_once)
+
+    store = obs_trace.TraceStore(max_traces=4096)
+    spans_recorded = 0
+
+    def run_traced():
+        nonlocal spans_recorded
+        obs_trace.enable(store)
+        try:
+            with obs_trace.span("bench.batch"):
+                return run_once()
+        finally:
+            obs_trace.disable()
+            spans_recorded = store.stats_snapshot()["spans_added"]
+
+    traced_wall, traced_digests = best_wall(run_traced)
+
+    if traced_digests != untraced_digests or len(untraced_digests) != 1:
+        raise RuntimeError(
+            f"tracing changed the results: untraced {untraced_digests} "
+            f"vs traced {traced_digests}")
+    overhead = ((traced_wall - untraced_wall) / untraced_wall
+                if untraced_wall > 0 else 0.0)
+    print(f"    untraced {untraced_wall * 1e3:8.2f} ms")
+    print(f"    traced   {traced_wall * 1e3:8.2f} ms  "
+          f"({overhead:+.2%} overhead, {spans_recorded} spans, "
+          f"identical results: True)")
+    if overhead >= max_overhead:
+        raise RuntimeError(
+            f"tracing overhead {overhead:.2%} breaches the "
+            f"{max_overhead:.0%} budget")
+    return {
+        "workloads": len(workloads),
+        "repeats": repeats,
+        "untraced_wall_s": untraced_wall,
+        "traced_wall_s": traced_wall,
+        "overhead": overhead,
+        "max_overhead": max_overhead,
+        "spans_recorded": spans_recorded,
+        "result_digest": sorted(untraced_digests)[0],
+        "results_identical": True,
+    }
+
+
 def run_simulation_throughput(height=480, width=640, iterations=6,
                               window_side=6, repeats=3) -> dict:
     """Time the vectorized simulator against the preserved scalar tile loop.
@@ -639,6 +732,10 @@ def main(argv=None) -> int:
     parser.add_argument("--skip-fleet", action="store_true",
                         help="skip the fleet throughput burst (jobs/s, "
                              "shed count, placement distribution)")
+    parser.add_argument("--skip-obs", action="store_true",
+                        help="skip the tracing-overhead benchmark "
+                             "(untraced vs traced walls, digest "
+                             "identity, <5%% budget)")
     parser.add_argument("--skip-sim", action="store_true",
                         help="skip the vectorized-vs-scalar simulation "
                              "throughput benchmark (pixels/s, speedup, "
@@ -724,6 +821,11 @@ def main(argv=None) -> int:
         print("running the fleet throughput burst "
               "(16 jobs through a 3-worker consistent-hash fleet)...")
         snapshot["fleet_throughput"] = run_fleet_throughput()
+
+    if not args.skip_obs:
+        print("running the tracing-overhead benchmark "
+              "(4 scenarios, untraced vs fully traced)...")
+        snapshot["obs_overhead"] = run_obs_overhead()
 
     if not args.skip_large_space:
         print("running the large-space streaming benchmark "

@@ -30,6 +30,14 @@
 #                               # boundary-contract regressions, with a
 #                               # wall-clock budget so the Hypothesis suite
 #                               # can't silently balloon
+#   scripts/check.sh --obs      # observability tier: the tracing/metrics/
+#                               # propagation suite, then a live-server
+#                               # smoke — client root span rides the
+#                               # X-Repro-Trace header across a real
+#                               # process boundary, the trace comes back
+#                               # via GET /trace/<id> and the CLI, and
+#                               # /metrics strict-parses as 0.0.4 with
+#                               # correctly typed families
 #   scripts/check.sh -k store   # extra args are passed through to pytest
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -105,9 +113,45 @@ print(f"simulation import guard ok ({len(sys.modules)} modules, "
 PYEOF
 }
 
+check_obs_imports() {
+    # The observability layer ships everywhere the engine does (every
+    # server mounts a TraceStore, every session records metrics), so it
+    # gets the same deployment-footprint rule: NumPy + stdlib only.
+    python - <<'PYEOF'
+import builtins
+import sys
+
+sys.path.insert(0, "src")
+BLOCKED = ("hypothesis", "pytest", "matplotlib", "pandas", "scipy", "yaml")
+real_import = builtins.__import__
+
+
+def guarded(name, *args, **kwargs):
+    root = name.split(".")[0]
+    if root in BLOCKED:
+        raise SystemExit(
+            f"error: repro.obs pulled optional dependency {root!r} "
+            f"into its import closure (only NumPy + stdlib are allowed)")
+    return real_import(name, *args, **kwargs)
+
+
+builtins.__import__ = guarded
+import repro.obs  # noqa: F401  (the guard is the side effect)
+import repro.obs.trace  # noqa: F401
+import repro.obs.metrics  # noqa: F401
+import repro.obs.profile  # noqa: F401
+
+non_stdlib = [name for name in BLOCKED if name in sys.modules]
+assert not non_stdlib, non_stdlib
+print(f"obs import guard ok ({len(sys.modules)} modules, "
+      f"numpy {sys.modules['numpy'].__version__})")
+PYEOF
+}
+
 # The guards are cheap, so every mode runs them (CI's flagless invocation too).
 check_engine_imports
 check_simulation_imports
+check_obs_imports
 
 PYTEST_ARGS=(-x -q)
 case "${1:-}" in
@@ -156,6 +200,19 @@ case "${1:-}" in
         echo "error: simulation tier exceeded its 300s wall-clock budget" >&2
     fi
     exit "$sim_status"
+    ;;
+--obs)
+    shift
+    python -m compileall -q src
+    # The full observability suite first (span trees, header codec,
+    # capture/absorb handoff, typed exposition, propagation edges), then
+    # the live smoke: a real `python -m repro serve` subprocess proves
+    # the X-Repro-Trace header joins traces across a process boundary
+    # and /metrics survives the strict 0.0.4 parser.
+    run_pytest -x -q tests/obs "$@"
+    PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+        python scripts/obs_smoke.py
+    exit $?
     ;;
 --par)
     shift

@@ -49,7 +49,15 @@ Subcommands
     ``explore`` — or ``--no-wait`` to just queue it and print the job
     id.  Shed submissions (``503 + Retry-After``) are retried with
     capped backoff (``--retries``); ``--role`` names the requester's
-    role for fleet admission control.
+    role for fleet admission control.  The submission carries this
+    process's span context in ``X-Repro-Trace``, so the server-side
+    trace joins the caller's; the receipt's trace id is printed for
+    ``trace`` to fetch.
+``trace``
+    Fetch recorded traces from a running service or fleet router
+    (:mod:`repro.obs`): list the trace index, or fetch one trace as
+    JSONL (default) or Chrome ``trace_event`` JSON (``--chrome``; load
+    in chrome://tracing or Perfetto).
 
 ``explore``, ``codegen``, and ``sweep`` accept ``--store [DIR]`` to persist
 characterizations and results across invocations (default directory:
@@ -141,6 +149,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="emit the full FlowResult as JSON")
     explore.add_argument("-o", "--output", metavar="FILE",
                          help="write the JSON payload to FILE")
+    explore.add_argument("--profile", action="store_true",
+                         help="sample the exploration with the built-in "
+                              "profiler and write flamegraph-ready JSON "
+                              "(repro-profile.json)")
     explore.set_defaults(handler=cmd_explore)
 
     codegen = commands.add_parser(
@@ -202,6 +214,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="persist characterizations/results under DIR "
                             "(default when DIR is omitted: "
                             f"{default_store_path()})")
+    sweep.add_argument("--profile", action="store_true",
+                       help="sample the sweep with the built-in profiler "
+                            "and write flamegraph-ready JSON "
+                            "(repro-profile.json)")
     sweep.set_defaults(handler=cmd_sweep)
 
     serve = commands.add_parser(
@@ -340,6 +356,26 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("-o", "--output", metavar="FILE",
                         help="write the JSON payload to FILE")
     submit.set_defaults(handler=cmd_submit)
+
+    trace_cmd = commands.add_parser(
+        "trace", help="fetch recorded traces from a running service")
+    trace_cmd.add_argument("trace_id", nargs="?", default=None,
+                           help="trace id to fetch (omit to list the "
+                                "server's trace index)")
+    trace_cmd.add_argument("--server", default="http://127.0.0.1:8177",
+                           metavar="URL",
+                           help="service or fleet router endpoint "
+                                "(default: http://127.0.0.1:8177)")
+    trace_cmd.add_argument("--chrome", action="store_true",
+                           help="emit Chrome trace_event JSON instead of "
+                                "JSONL (load in chrome://tracing or "
+                                "Perfetto)")
+    trace_cmd.add_argument("--json", action="store_true",
+                           help="emit the trace index as JSON (listing "
+                                "mode only)")
+    trace_cmd.add_argument("-o", "--output", metavar="FILE",
+                           help="write the payload to FILE")
+    trace_cmd.set_defaults(handler=cmd_trace)
 
     cache = commands.add_parser(
         "cache", help="inspect or maintain a persistent artifact store")
@@ -577,10 +613,16 @@ def cmd_list(args: argparse.Namespace) -> int:
 
 
 def cmd_explore(args: argparse.Namespace) -> int:
+    from repro.obs.profile import maybe_profile
+
     workload = workload_from_args(args)
     session = _session(args)
-    result = session.run_many([workload], max_workers=args.jobs,
-                              executor=args.executor)[0]
+    profiled = maybe_profile(args.profile)
+    with profiled:
+        result = session.run_many([workload], max_workers=args.jobs,
+                                  executor=args.executor)[0]
+    if profiled.output:
+        print(f"profile written to {profiled.output}", file=sys.stderr)
     if args.json or args.output:
         _write_payload(result.to_dict(), args)
         return 0
@@ -654,9 +696,15 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                         keywords["window_sides"] = windows
                     workloads.append(Workload.from_algorithm(name, **keywords))
 
+    from repro.obs.profile import maybe_profile
+
     session = _session(args)
-    results = session.run_many(workloads, max_workers=args.jobs,
-                               executor=args.executor)
+    profiled = maybe_profile(args.profile)
+    with profiled:
+        results = session.run_many(workloads, max_workers=args.jobs,
+                                   executor=args.executor)
+    if profiled.output:
+        print(f"profile written to {profiled.output}", file=sys.stderr)
     stats = session.stats
 
     summaries = []
@@ -829,22 +877,33 @@ def cmd_validate(args: argparse.Namespace) -> int:
 
 def cmd_submit(args: argparse.Namespace) -> int:
     from repro.api.results import ValidationResult
+    from repro.obs import trace as obs_trace
     from repro.service.client import ReproClient
     from repro.service.jobs import ServiceError
 
     workload = workload_from_args(args)
     client = ReproClient(args.fleet or args.server, retries=args.retries)
+    # root the trace in this process so the server-side spans join the
+    # caller's trace id (propagated via the X-Repro-Trace header)
+    obs_trace.auto_enable()
     try:
-        handle = client.submit(workload, priority=args.priority,
-                               timeout_s=args.timeout, role=args.role,
-                               job=args.job)
-        if args.no_wait:
-            print(handle.id)
-            return 0
-        result = handle.result(timeout=args.timeout)
+        with obs_trace.span("cli.submit", workload=workload.name):
+            handle = client.submit(workload, priority=args.priority,
+                                   timeout_s=args.timeout, role=args.role,
+                                   job=args.job)
+            if args.no_wait:
+                print(handle.id)
+                if handle.trace_id:
+                    print(f"trace: {handle.trace_id}", file=sys.stderr)
+                return 0
+            result = handle.result(timeout=args.timeout)
     except ServiceError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    if handle.trace_id:
+        print(f"trace: {handle.trace_id} "
+              f"(fetch with `python -m repro trace {handle.trace_id}`)",
+              file=sys.stderr)
     if args.json or args.output:
         _write_payload(result.to_dict(), args)
         return 0
@@ -855,6 +914,45 @@ def cmd_submit(args: argparse.Namespace) -> int:
     print(flow_summary(result.exploration))
     print()
     print(pareto_table(result.pareto))
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import trace as obs_trace
+    from repro.service.client import ReproClient
+    from repro.service.jobs import ServiceError
+
+    client = ReproClient(args.server)
+    try:
+        payload = client.trace(args.trace_id)
+    except ServiceError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if args.trace_id is None:
+        if args.json or args.output:
+            _write_payload(payload, args)
+            return 0
+        traces = payload.get("traces", [])
+        if not traces:
+            print("no traces recorded")
+            return 0
+        for entry in traces:
+            print(f"{entry['trace_id']}  {entry['spans']:>4} span(s)  "
+                  f"{entry['wall_s'] * 1e3:9.1f} ms  root {entry['root']}")
+        return 0
+    spans = payload.get("spans", [])
+    if args.chrome:
+        text = json.dumps(obs_trace.to_chrome_trace(spans),
+                          indent=2, sort_keys=True) + "\n"
+    else:
+        text = obs_trace.to_jsonl(spans)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {len(spans)} span(s) to {args.output}",
+              file=sys.stderr)
+    else:
+        sys.stdout.write(text)
     return 0
 
 

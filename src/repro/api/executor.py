@@ -74,6 +74,7 @@ from typing import (
 from repro.api.registry import register_backend
 from repro.api.results import FlowResult
 from repro.api.workload import Workload
+from repro.obs import trace as obs_trace
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid a session cycle
     from repro.api.session import Session
@@ -208,9 +209,18 @@ class ThreadExecutor:
         workers = resolve_worker_count(max_workers, len(workloads))
         if workers <= 1 or len(workloads) == 1:
             return [session.run(workload) for workload in workloads]
+        # contextvars do not follow work into pool threads: capture the
+        # batch's trace context here and re-enter it around each run, so
+        # per-workload spans parent under the run_many span
+        context = obs_trace.context_payload()
+
+        def traced_run(workload: Workload) -> FlowResult:
+            with obs_trace.adopt(context):
+                return session.run(workload)
+
         with ThreadPoolExecutor(max_workers=workers,
                                 thread_name_prefix="repro-session") as pool:
-            return list(pool.map(session.run, workloads))
+            return list(pool.map(traced_run, workloads))
 
     def map_tasks(self, fn, payloads: Sequence[Any],
                   max_workers: Optional[int] = None) -> List[Any]:
@@ -278,6 +288,7 @@ class ProcessExecutor:
         store = session.store
         store_root = store.root if store is not None else None
         failures: List[Tuple[int, BaseException]] = []
+        trace_context = obs_trace.context_payload()
         with ProcessPoolExecutor(max_workers=len(shards),
                                  mp_context=self._context()) as pool:
             futures = []
@@ -286,13 +297,15 @@ class ProcessExecutor:
                 payloads = [workloads[i].to_dict() for i in indices]
                 futures.append((indices,
                                 pool.submit(_run_shard, payloads,
-                                            store_root)))
+                                            store_root, trace_context)))
             # Consume every shard before re-raising a failure, so the
             # statistics (and store artifacts) of completed shards are
             # never lost to one bad workload.
             for indices, future in futures:
-                shard_results, stats, elapsed, failure = future.result()
+                (shard_results, stats, elapsed, failure,
+                 shard_spans) = future.result()
                 session._absorb_child_stats(stats)
+                obs_trace.absorb(shard_spans)
                 for index, payload, spent in zip(indices, shard_results,
                                                  elapsed):
                     workload = workloads[index]
@@ -344,9 +357,10 @@ ShardFailure = Optional[Tuple[int, BaseException, float]]
 
 
 def _run_shard(workload_payloads: List[Dict[str, Any]],
-               store_root: Optional[str]
+               store_root: Optional[str],
+               trace_context: Optional[Dict[str, Any]] = None
                ) -> Tuple[List[Dict[str, Any]], Dict[str, Any], List[float],
-                          ShardFailure]:
+                          ShardFailure, List[Dict[str, Any]]]:
     """Worker-process entry point: run one shard through a fresh session.
 
     Ships everything back as plain JSON-ready dicts — the parent
@@ -355,6 +369,12 @@ def _run_shard(workload_payloads: List[Dict[str, Any]],
     workload's exception.  A failure aborts the rest of the shard (like the
     serial path) but is *returned*, not raised, so the shard's completed
     results and its session statistics survive the error.
+
+    With ``trace_context`` (the parent's span handoff payload), the shard
+    runs under an ``executor.shard`` span parented into the caller's trace;
+    worker-side spans cannot reach the parent's recorder, so they are
+    captured locally and shipped back as the last tuple element for the
+    parent to re-anchor with :func:`repro.obs.trace.absorb`.
     """
     from repro.api.session import Session
 
@@ -362,16 +382,28 @@ def _run_shard(workload_payloads: List[Dict[str, Any]],
     results: List[Dict[str, Any]] = []
     elapsed: List[float] = []
     failure: ShardFailure = None
-    for position, payload in enumerate(workload_payloads):
-        started = time.perf_counter()
-        try:
-            workload = Workload.from_dict(payload)
-            results.append(session.run(workload).to_dict())
-        except Exception as error:
-            failure = (position, error, time.perf_counter() - started)
-            break
-        elapsed.append(time.perf_counter() - started)
-    return results, session.stats.to_dict(), elapsed, failure
+
+    def execute() -> None:
+        nonlocal failure
+        for position, payload in enumerate(workload_payloads):
+            started = time.perf_counter()
+            try:
+                workload = Workload.from_dict(payload)
+                results.append(session.run(workload).to_dict())
+            except Exception as error:
+                failure = (position, error, time.perf_counter() - started)
+                break
+            elapsed.append(time.perf_counter() - started)
+
+    spans: List[Dict[str, Any]] = []
+    if trace_context is not None:
+        with obs_trace.capture(spans), obs_trace.adopt(trace_context):
+            with obs_trace.span("executor.shard",
+                                workloads=len(workload_payloads)):
+                execute()
+    else:
+        execute()
+    return results, session.stats.to_dict(), elapsed, failure, spans
 
 
 register_backend("executor", SerialExecutor.name, SerialExecutor)

@@ -41,6 +41,7 @@ from repro.frontend.kernel_ir import KernelValidationError, StencilKernel
 from repro.frontend.semantic import validate_kernel
 from repro.ir.dfg import build_dfg_from_cone
 from repro.ir.operators import DataFormat
+from repro.obs import trace as obs_trace
 from repro.symbolic.cone_expression import ConeExpressionBuilder
 from repro.symbolic.invariance import verify_kernel
 
@@ -129,7 +130,9 @@ class Pipeline:
         if self._observer is not None:
             self._observer(stage, "started", None)
         started = time.perf_counter()
-        artifact = getattr(self, f"_stage_{stage}")(**stage_args)
+        with obs_trace.span(f"stage.{stage}",
+                            workload=self.workload.name):
+            artifact = getattr(self, f"_stage_{stage}")(**stage_args)
         elapsed = time.perf_counter() - started
         if stage != "codegen":
             # codegen re-executes on every request (the selected point may

@@ -40,6 +40,8 @@ from repro.api.store import ArtifactStore, CharacterizationStoreAdapter
 from repro.api.workload import Workload
 from repro.dse.design_point import DesignPoint
 from repro.dse.explorer import DesignSpaceExplorer, ExplorationResult
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.simulation.validation import ValidationResult, validate_workload
 
 
@@ -51,6 +53,10 @@ class SessionEvent:
     ``stage-finished``, ``workload-finished``, ``workload-failed``,
     ``cache-hit``.  Callbacks registered on a session receive every event;
     during :meth:`Session.run_many` they may be invoked from worker threads.
+
+    With tracing enabled (:mod:`repro.obs.trace`), ``trace_id``/``span_id``
+    carry the enclosing span's identity so logs and traces join on one key;
+    both stay ``None`` when recording is off.
     """
 
     kind: str
@@ -58,6 +64,29 @@ class SessionEvent:
     stage: Optional[str] = None
     elapsed_s: Optional[float] = None
     detail: str = ""
+    trace_id: Optional[str] = None
+    span_id: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        """Stable JSON-ready representation (workload by name)."""
+        return {
+            "kind": self.kind,
+            "workload": self.workload.name,
+            "stage": self.stage,
+            "elapsed_s": self.elapsed_s,
+            "detail": self.detail,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+        }
+
+
+def _event(kind: str, workload: Workload, stage: Optional[str] = None,
+           elapsed_s: Optional[float] = None, detail: str = "") \
+        -> SessionEvent:
+    """Build an event stamped with the enclosing span's identity."""
+    trace_id, span_id = obs_trace.current_ids()
+    return SessionEvent(kind, workload, stage=stage, elapsed_s=elapsed_s,
+                        detail=detail, trace_id=trace_id, span_id=span_id)
 
 
 @dataclass
@@ -362,8 +391,11 @@ class Session:
 
                 def observe(stage: str, status: str,
                             elapsed: Optional[float]) -> None:
-                    self._emit(SessionEvent(f"stage-{status}", workload,
-                                            stage=stage, elapsed_s=elapsed))
+                    if status == "finished" and elapsed is not None:
+                        obs_metrics.registry().histogram(
+                            "repro_session_stage_seconds").observe(elapsed)
+                    self._emit(_event(f"stage-{status}", workload,
+                                      stage=stage, elapsed_s=elapsed))
 
                 pipeline = Pipeline(workload, explorer=explorer,
                                     observer=observe,
@@ -398,9 +430,14 @@ class Session:
             raise PipelineError(
                 f"unknown stage {until!r}; stages are "
                 f"{', '.join(STAGE_NAMES)}")
+        with obs_trace.span("session.run", workload=workload.name,
+                            until=until):
+            return self._run_traced(workload, until)
+
+    def _run_traced(self, workload: Workload, until: str) -> Any:
         started = time.perf_counter()
         key = workload.characterization_key()
-        self._emit(SessionEvent("workload-started", workload))
+        self._emit(_event("workload-started", workload))
         memory_hit = False
         try:
             # The in-memory caches stay the first level: the store is
@@ -431,9 +468,9 @@ class Session:
                     with self._stats_lock:
                         self._stats.workloads_run += 1
                         self._stats.workload_time_s += elapsed
-                    self._emit(SessionEvent("cache-hit", workload,
+                    self._emit(_event("cache-hit", workload,
                                             detail=detail))
-                    self._emit(SessionEvent("workload-finished", workload,
+                    self._emit(_event("workload-finished", workload,
                                             elapsed_s=elapsed))
                     return _defensive_copy(stored)
             # Mark the key in flight before the explorer becomes reachable,
@@ -465,7 +502,7 @@ class Session:
                             else:
                                 self._stats.characterization_cache_misses += 1
                         if hit:
-                            self._emit(SessionEvent(
+                            self._emit(_event(
                                 "cache-hit", workload,
                                 detail="shared cone characterization"))
                 result = _defensive_copy(pipeline.run_stage(until))
@@ -474,7 +511,7 @@ class Session:
         except Exception as error:
             with self._stats_lock:
                 self._stats.workloads_failed += 1
-            self._emit(SessionEvent("workload-failed", workload,
+            self._emit(_event("workload-failed", workload,
                                     elapsed_s=time.perf_counter() - started,
                                     detail=str(error)))
             raise
@@ -500,7 +537,7 @@ class Session:
         with self._stats_lock:
             self._stats.workloads_run += 1
             self._stats.workload_time_s += elapsed
-        self._emit(SessionEvent("workload-finished", workload,
+        self._emit(_event("workload-finished", workload,
                                 elapsed_s=elapsed))
         return result
 
@@ -517,8 +554,16 @@ class Session:
         run/time statistics as :meth:`run`.  The result is immutable — safe
         to share across callers.
         """
+        with obs_trace.span("session.validate", workload=workload.name,
+                            mode=mode):
+            return self._validate_traced(workload, window_side=window_side,
+                                         mode=mode)
+
+    def _validate_traced(self, workload: Workload, *,
+                         window_side: Optional[int],
+                         mode: str) -> ValidationResult:
         started = time.perf_counter()
-        self._emit(SessionEvent("workload-started", workload))
+        self._emit(_event("workload-started", workload))
         try:
             cache_key = workload
             if window_side is not None or mode != "region":
@@ -536,7 +581,7 @@ class Session:
         except Exception as error:
             with self._stats_lock:
                 self._stats.workloads_failed += 1
-            self._emit(SessionEvent("workload-failed", workload,
+            self._emit(_event("workload-failed", workload,
                                     elapsed_s=time.perf_counter() - started,
                                     detail=str(error)))
             raise
@@ -545,9 +590,9 @@ class Session:
             self._stats.workloads_run += 1
             self._stats.workload_time_s += elapsed
         if hit:
-            self._emit(SessionEvent("cache-hit", workload,
+            self._emit(_event("cache-hit", workload,
                                     detail="validation evidence"))
-        self._emit(SessionEvent("workload-finished", workload,
+        self._emit(_event("workload-finished", workload,
                                 elapsed_s=elapsed))
         return cached
 
@@ -576,8 +621,12 @@ class Session:
         if not workloads:
             return []
         strategy = resolve_strategy(executor)
-        return list(strategy.run_batch(self, workloads,
-                                       max_workers=max_workers))
+        with obs_trace.span(
+                "session.run_many", workloads=len(workloads),
+                executor=getattr(strategy, "name",
+                                 type(strategy).__name__)):
+            return list(strategy.run_batch(self, workloads,
+                                           max_workers=max_workers))
 
     # ------------------------------------------------------------------ #
     # executor support (used by repro.api.executor strategies)
@@ -644,7 +693,7 @@ class Session:
                           elapsed_s: Optional[float] = None,
                           detail: str = "") -> None:
         """Emit a workload lifecycle event on behalf of a batch executor."""
-        self._emit(SessionEvent(kind, workload, elapsed_s=elapsed_s,
+        self._emit(_event(kind, workload, elapsed_s=elapsed_s,
                                 detail=detail))
 
     def generate_vhdl(self, workload: Workload,

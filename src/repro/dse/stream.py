@@ -70,6 +70,7 @@ from __future__ import annotations
 
 import math
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import (TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence,
@@ -79,6 +80,8 @@ import numpy as np
 
 from repro.architecture.enumeration import ArchitectureSpace
 from repro.dse.constraints import DseConstraints
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.dse.design_point import DesignPoint
 from repro.dse.pareto import FINITE_OBJECTIVES_ERROR as _FINITE_ERROR
 from repro.estimation.throughput_model import (
@@ -818,9 +821,59 @@ def _fold_chunk_shard(payload: _ShardPayload) -> Dict[str, object]:
     workers are not special-cased).  Returns the private frontier/top-k
     plus the shard's accounting and the global indices of the chunks it
     materialized (the parent asserts the shards did not overlap).
+
+    The payload's trailing ``trace_context`` (a span handoff payload, or
+    ``None``) parents a per-shard ``stream.shard`` span into the caller's
+    trace.  In-process workers record straight into the live recorder;
+    a worker process (recorder off in a fresh interpreter) captures its
+    spans locally and ships them back under ``report["spans"]`` — same
+    ship-through-the-report pattern as the counters, so no worker ever
+    mutates parent state.  ``report["fold_wall_s"]`` always carries the
+    shard's fold wall time for the parent's chunk-fold histogram.
     """
     (space, characterizations, throughput_model, frame_width, frame_height,
-     shard, plans, top_k, min_fps) = payload
+     shard, plans, top_k, min_fps, trace_context) = payload
+    fold_started = time.perf_counter()
+
+    def traced_fold() -> Dict[str, object]:
+        with obs_trace.adopt(trace_context):
+            with obs_trace.span("stream.shard", chunks=len(shard)) as span:
+                report = fold()
+                span.set_attributes(
+                    chunks_materialized=len(report["materialized"]),
+                    admitted_rows=report["admitted_rows"])
+                return report
+
+    if trace_context is None:
+        report = fold_shard(space, characterizations, throughput_model,
+                            frame_width, frame_height, shard, plans,
+                            top_k, min_fps)
+    else:
+        def fold() -> Dict[str, object]:
+            return fold_shard(space, characterizations, throughput_model,
+                              frame_width, frame_height, shard, plans,
+                              top_k, min_fps)
+
+        if obs_trace.enabled():
+            report = traced_fold()
+        else:
+            shipped: List[Dict[str, object]] = []
+            with obs_trace.capture(shipped):
+                report = traced_fold()
+            report["spans"] = shipped
+    report["fold_wall_s"] = time.perf_counter() - fold_started
+    return report
+
+
+def fold_shard(space: ArchitectureSpace,
+               characterizations: Mapping[Tuple[int, int],
+                                          "ConeCharacterization"],
+               throughput_model: ThroughputModel,
+               frame_width: int, frame_height: int,
+               shard: Sequence[Tuple[int, SpaceChunk]],
+               plans: Mapping[Tuple[int, int], _GroupPlan],
+               top_k: int, min_fps: Optional[float]) -> Dict[str, object]:
+    """The pure fold over one shard's chunks (see :func:`_fold_chunk_shard`)."""
     frontier = StreamingFrontier()
     topk = StreamingTopK(top_k)
     contexts: Dict[Tuple[int, int], _GroupContext] = {}
@@ -955,16 +1008,6 @@ def explore_stream(space: ArchitectureSpace,
 
     min_fps = constraints.min_frames_per_second
     shards = _shard_schedule(schedule, jobs) if jobs > 1 else [schedule]
-    payloads = [
-        (space, characterizations, throughput_model, frame_width,
-         frame_height, [(index, chunks[index]) for index in shard],
-         plans, top_k, min_fps)
-        for shard in shards]
-    if len(payloads) > 1:
-        folds = _map_shards(payloads, executor, jobs)
-    else:
-        folds = [_fold_chunk_shard(payload) for payload in payloads]
-
     frontier = StreamingFrontier()
     topk = StreamingTopK(top_k)
     admitted_rows = 0
@@ -972,15 +1015,34 @@ def explore_stream(space: ArchitectureSpace,
     peak_chunk_rows = 0
     frontier_peak = 0
     materialized: List[int] = []
-    for fold in folds:
-        frontier.merge(fold["frontier"])
-        topk.merge(fold["topk"])
-        admitted_rows += fold["admitted_rows"]
-        chunks_skipped += fold["chunks_skipped"]
-        peak_chunk_rows = max(peak_chunk_rows, fold["peak_chunk_rows"])
-        frontier_peak = max(frontier_peak, fold["frontier_peak"],
-                            len(frontier))
-        materialized.extend(fold["materialized"])
+    fold_histogram = obs_metrics.registry().histogram(
+        "repro_stream_chunk_fold_seconds")
+    with obs_trace.span("stream.explore", chunks=len(chunks), jobs=jobs,
+                        shards=len(shards)):
+        # capture the span handoff *inside* the span so every shard —
+        # same thread, pool thread, or worker process — parents to it
+        trace_context = obs_trace.context_payload()
+        payloads = [
+            (space, characterizations, throughput_model, frame_width,
+             frame_height, [(index, chunks[index]) for index in shard],
+             plans, top_k, min_fps, trace_context)
+            for shard in shards]
+        if len(payloads) > 1:
+            folds = _map_shards(payloads, executor, jobs)
+        else:
+            folds = [_fold_chunk_shard(payload) for payload in payloads]
+
+        for fold in folds:
+            frontier.merge(fold["frontier"])
+            topk.merge(fold["topk"])
+            admitted_rows += fold["admitted_rows"]
+            chunks_skipped += fold["chunks_skipped"]
+            peak_chunk_rows = max(peak_chunk_rows, fold["peak_chunk_rows"])
+            frontier_peak = max(frontier_peak, fold["frontier_peak"],
+                                len(frontier))
+            materialized.extend(fold["materialized"])
+            fold_histogram.observe(fold["fold_wall_s"])
+            obs_trace.absorb(fold.get("spans"))
     duplicates = len(materialized) - len(set(materialized))
     _counters.add(runs=1,
                   parallel_runs=1 if len(folds) > 1 else 0,

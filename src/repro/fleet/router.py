@@ -33,6 +33,7 @@ overload the neighbors; backpressure is the correct answer).
 
 from __future__ import annotations
 
+import re
 import threading
 import time
 from collections import deque
@@ -48,6 +49,8 @@ from repro.fleet.membership import (
     build_member,
 )
 from repro.fleet.ring import DEFAULT_REPLICAS, routing_token
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.service.jobs import (
     FleetOverloadedError,
     JobCancelledError,
@@ -76,18 +79,24 @@ MAX_REPLAYS_SLACK = 2
 #: :meth:`FleetRouter.check_workers` probes on demand either way).
 DEFAULT_HEALTHCHECK_INTERVAL_S = 1.0
 
+#: Folds an arbitrary requester role into a legal metric-name suffix for
+#: the per-role submit counters.
+_ROLE_SANITIZER = re.compile(r"[^a-z0-9_]")
+
 
 class _RoutedJob:
     """One fleet-level job: a workload pinned to a (current) worker."""
 
     __slots__ = ("id", "workload", "token", "priority", "timeout_s",
                  "kind", "worker_name", "worker_job_id", "state",
-                 "coalesced", "replays", "submitted_at", "cancelled")
+                 "coalesced", "replays", "submitted_at", "cancelled",
+                 "trace_id")
 
     def __init__(self, job_id: str, workload: Workload, token: str,
                  priority: int, timeout_s: Optional[float],
                  worker_name: str, worker_job_id: str,
-                 coalesced: bool, kind: str = "explore") -> None:
+                 coalesced: bool, kind: str = "explore",
+                 trace_id: Optional[str] = None) -> None:
         self.id = job_id
         self.workload = workload
         self.token = token
@@ -101,6 +110,7 @@ class _RoutedJob:
         self.replays = 0
         self.submitted_at = time.time()
         self.cancelled = False
+        self.trace_id = trace_id
 
     def snapshot(self) -> Dict[str, Any]:
         return {
@@ -115,6 +125,7 @@ class _RoutedJob:
             "replays": self.replays,
             "submitted_at": self.submitted_at,
             "timeout_s": self.timeout_s,
+            "trace_id": self.trace_id,
         }
 
 
@@ -142,6 +153,10 @@ class FleetRouter:
         if max_inflight is not None and max_inflight < 1:
             raise ValueError(
                 f"max_inflight must be >= 1 or None (got {max_inflight})")
+        # routers trace by default, exactly like workers (REPRO_OBS=0
+        # opts out); with in-process workers the one global TraceStore
+        # then holds the full route -> worker -> pipeline trace
+        obs_trace.auto_enable()
         self._policy = policy if policy is not None else AdmissionPolicy()
         self._membership = FleetMembership(replicas=replicas)
         self._max_inflight = max_inflight
@@ -399,6 +414,20 @@ class FleetRouter:
         """
         if not isinstance(workload, Workload):
             workload = Workload.from_dict(workload)
+        obs_metrics.registry().counter(
+            "repro_fleet_submits_role_"
+            + _ROLE_SANITIZER.sub("_", (role or "default").lower())).inc()
+        with obs_trace.span("fleet.route", workload=workload.name,
+                            role=role or "default") as route_span:
+            return self._route(workload, priority, timeout_s, role, job,
+                               route_span)
+
+    def _route(self, workload: Workload,
+               priority: Union[str, int, None],
+               timeout_s: Optional[float],
+               role: Optional[str],
+               job: Optional[str],
+               route_span: Any) -> Dict[str, Any]:
         parsed = self._policy.admit(role, priority)
         kind = parse_job_kind(job)
         with self._lock:
@@ -447,12 +476,19 @@ class FleetRouter:
                 if self._membership.mark_dead(member.name):
                     self._on_worker_death(member.name)
                 continue
+            # the worker's receipt names the trace its job span joined
+            # (this router's own trace when the header propagated); fall
+            # back to the route span's trace for untraced workers
+            trace_id = (getattr(handle, "trace_id", None)
+                        or (route_span.context_payload() or {}).get(
+                            "trace_id"))
+            route_span.set_attributes(worker=member.name, token=token)
             with self._lock:
                 self._sequence += 1
                 job = _RoutedJob(f"fleet-{self._sequence}", workload,
                                  token, parsed, timeout_s,
                                  member.name, handle.id, handle.coalesced,
-                                 kind=kind)
+                                 kind=kind, trace_id=trace_id)
                 self._jobs[job.id] = job
                 self._routed += 1
                 member.jobs_routed += 1
@@ -679,8 +715,26 @@ class FleetRouter:
         }
 
     def metrics_text(self) -> str:
-        """Prometheus text over the fleet aggregation (``GET /metrics``)."""
-        return render_prometheus(self.stats(), prefix="repro_fleet")
+        """Prometheus text over the fleet aggregation (``GET /metrics``):
+        typed walked leaves plus the registry families (per-role submit
+        counters, latency histograms)."""
+        return render_prometheus(self.stats(), prefix="repro_fleet",
+                                 registry=obs_metrics.registry())
+
+    def trace(self, trace_id: Optional[str] = None) -> Dict[str, Any]:
+        """Recorded traces (``GET /trace``, ``GET /trace/<id>``); with
+        in-process workers the router's global store holds the complete
+        route -> worker -> pipeline span tree."""
+        store = obs_trace.global_store()
+        if trace_id is None:
+            return {"traces": store.summaries(),
+                    "store": store.stats_snapshot()}
+        spans = store.get(trace_id)
+        if spans is None:
+            raise UnknownJobError(
+                f"unknown trace {trace_id!r} (the trace store is a ring "
+                f"buffer; old traces are evicted)")
+        return {"trace_id": trace_id, "spans": spans}
 
     def register(self, info: Mapping[str, Any]) -> Dict[str, Any]:
         """A worker announcing itself (``POST /register`` on the router).

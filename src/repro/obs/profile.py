@@ -1,0 +1,169 @@
+"""Opt-in sampling profiler attributing hot-path time to spans.
+
+A background thread snapshots every Python thread's stack (via
+``sys._current_frames``) at a fixed interval and aggregates folded
+stacks — the flamegraph input format — plus a per-span sample count
+taken from the tracer's thread→span bookkeeping, so profile time joins
+the trace on span names.  Strictly opt-in (``REPRO_OBS_PROFILE=1`` or
+``--profile``): when off, nothing is imported into the hot path and the
+tracer skips its per-span thread bookkeeping entirely.
+
+The snapshot is flamegraph-ready JSON: ``{"stacks": {"a;b;c": n, ...}}``
+feeds any folded-stack renderer (e.g. speedscope or flamegraph.pl after
+a one-line ``"stack count"`` dump).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+import time
+from typing import Any, Dict, Optional
+
+from repro.obs import trace as _trace
+
+__all__ = ["PROFILE_ENV", "SamplingProfiler", "maybe_profile",
+           "profiling_requested"]
+
+#: Environment switch honored by :func:`maybe_profile`.
+PROFILE_ENV = "REPRO_OBS_PROFILE"
+
+#: How deep a sampled stack may go before it is truncated.
+MAX_STACK_DEPTH = 64
+
+
+def profiling_requested(flag: Optional[bool] = None) -> bool:
+    """Should profiling run?  CLI flag wins; else the env var decides."""
+    if flag:
+        return True
+    value = os.environ.get(PROFILE_ENV, "").strip().lower()
+    return value not in ("", "0", "off", "false", "no")
+
+
+class SamplingProfiler:
+    """Periodic whole-process stack sampler (start/stop lifecycle)."""
+
+    def __init__(self, interval_s: float = 0.005) -> None:
+        if interval_s <= 0:
+            raise ValueError(f"interval_s must be > 0 (got {interval_s})")
+        self.interval_s = interval_s
+        self._lock = threading.Lock()
+        self._stacks: Dict[str, int] = {}
+        self._span_samples: Dict[str, int] = {}
+        self._samples = 0
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        self._thread_spans: Dict[int, list] = {}
+        self._started_wall = 0.0
+        self._stopped_wall = 0.0
+
+    # -- lifecycle ----------------------------------------------------- #
+
+    def start(self) -> "SamplingProfiler":
+        if self._thread is not None and self._thread.is_alive():
+            return self
+        self._stop.clear()
+        self._started_wall = time.time()
+        # hand the tracer a live dict so Span start/finish maintain a
+        # per-thread span-name stack only while we sample
+        _trace._THREAD_SPANS = self._thread_spans
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-obs-profiler", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=5.0)
+        if _trace._THREAD_SPANS is self._thread_spans:
+            _trace._THREAD_SPANS = None
+        self._stopped_wall = time.time()
+
+    def __enter__(self) -> "SamplingProfiler":
+        return self.start()
+
+    def __exit__(self, *_exc) -> bool:
+        self.stop()
+        return False
+
+    # -- sampling ------------------------------------------------------ #
+
+    def _loop(self) -> None:
+        own_ident = threading.get_ident()
+        while not self._stop.wait(self.interval_s):
+            self._sample(own_ident)
+
+    def _sample(self, own_ident: int) -> None:
+        frames = sys._current_frames()
+        spans = self._thread_spans
+        with self._lock:
+            self._samples += 1
+            for ident, frame in frames.items():
+                if ident == own_ident:
+                    continue
+                parts = []
+                depth = 0
+                while frame is not None and depth < MAX_STACK_DEPTH:
+                    code = frame.f_code
+                    module = frame.f_globals.get("__name__", "?")
+                    parts.append(f"{module}:{code.co_name}")
+                    frame = frame.f_back
+                    depth += 1
+                folded = ";".join(reversed(parts))
+                self._stacks[folded] = self._stacks.get(folded, 0) + 1
+                stack = spans.get(ident)
+                if stack:
+                    name = stack[-1]
+                    self._span_samples[name] = \
+                        self._span_samples.get(name, 0) + 1
+
+    # -- output -------------------------------------------------------- #
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Flamegraph-ready JSON: folded stacks + per-span samples."""
+        with self._lock:
+            return {
+                "interval_s": self.interval_s,
+                "samples": self._samples,
+                "duration_s": ((self._stopped_wall or time.time())
+                               - self._started_wall),
+                "stacks": dict(sorted(self._stacks.items())),
+                "spans": dict(sorted(self._span_samples.items())),
+            }
+
+    def write(self, path: str) -> str:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.snapshot(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return path
+
+
+class maybe_profile:
+    """``with maybe_profile(args.profile) as prof:`` — prof is ``None``
+    unless the flag or ``REPRO_OBS_PROFILE`` asked for sampling; on exit
+    the flamegraph JSON lands at ``path``."""
+
+    def __init__(self, flag: Optional[bool] = None,
+                 path: str = "repro-profile.json",
+                 interval_s: float = 0.005) -> None:
+        self._wanted = profiling_requested(flag)
+        self._path = path
+        self._interval_s = interval_s
+        self.profiler: Optional[SamplingProfiler] = None
+        self.output: Optional[str] = None
+
+    def __enter__(self) -> Optional[SamplingProfiler]:
+        if self._wanted:
+            self.profiler = SamplingProfiler(
+                interval_s=self._interval_s).start()
+        return self.profiler
+
+    def __exit__(self, *_exc) -> bool:
+        if self.profiler is not None:
+            self.profiler.stop()
+            self.output = self.profiler.write(self._path)
+        return False

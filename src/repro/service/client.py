@@ -34,6 +34,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.api.results import FlowResult, ValidationResult
 from repro.api.workload import Workload
+from repro.obs import trace as obs_trace
 from repro.service.jobs import (
     AdmissionDeniedError,
     FleetOverloadedError,
@@ -77,11 +78,15 @@ class JobHandle:
     """A submitted job as seen by one requester."""
 
     def __init__(self, client: "ReproClient", job_id: str,
-                 coalesced: bool) -> None:
+                 coalesced: bool,
+                 trace_id: Optional[str] = None) -> None:
         self._client = client
         self.id = job_id
         #: Whether this submission shared an already-in-flight computation.
         self.coalesced = coalesced
+        #: Trace id of the server-side job span (``None`` when the server
+        #: traces nothing); fetch the spans with ``client.trace(trace_id)``.
+        self.trace_id = trace_id
 
     def __repr__(self) -> str:
         return (f"JobHandle({self.id!r}, "
@@ -236,7 +241,8 @@ class ReproClient:
                 body["job"] = job
             receipt = self._post("/submit", body)
         return JobHandle(self, receipt["job_id"],
-                         bool(receipt.get("coalesced")))
+                         bool(receipt.get("coalesced")),
+                         trace_id=receipt.get("trace_id"))
 
     def run(self, workload: Union[Workload, Mapping[str, Any]],
             priority: Union[str, int, None] = None,
@@ -298,6 +304,14 @@ class ReproClient:
             return self._server.metrics_text()
         return self._get_text("/metrics")
 
+    def trace(self, trace_id: Optional[str] = None) -> Dict[str, Any]:
+        """Recorded traces: the index (no id) or one trace's spans."""
+        if self._server is not None:
+            return self._server.trace(trace_id)
+        if trace_id is None:
+            return self._get("/trace")
+        return self._get(f"/trace/{trace_id}")
+
     def register(self, info: Mapping[str, Any]) -> Dict[str, Any]:
         """The fleet registration handshake (``POST /register``)."""
         if self._server is not None:
@@ -338,11 +352,18 @@ class ReproClient:
         for offset in range(len(self._base_urls)):
             index = (self._url_index + offset) % len(self._base_urls)
             url = self._base_urls[index]
+            headers: Dict[str, str] = {}
+            if body is not None:
+                headers["Content-Type"] = "application/json"
+            trace_header = obs_trace.header_value()
+            if trace_header is not None:
+                # propagate the caller's span context across the hop so
+                # the server parents its job span into the same trace
+                headers[obs_trace.TRACE_HEADER] = trace_header
             request = urllib.request.Request(
                 url + path, data=body,
                 method="POST" if body is not None else "GET",
-                headers=({"Content-Type": "application/json"}
-                         if body is not None else {}))
+                headers=headers)
             try:
                 with urllib.request.urlopen(request,
                                             timeout=timeout) as reply:

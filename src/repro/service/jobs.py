@@ -208,6 +208,12 @@ class Job:
     finished_at: Optional[float] = None
     result: Optional[Union[FlowResult, ValidationResult]] = None
     error: Optional[BaseException] = None
+    #: Span handoff payload (``repro.obs.trace.context_payload`` shape)
+    #: parenting every server-side span of this job; ``None`` when tracing
+    #: is off.  The live span object itself lives in ``span`` and is
+    #: finished by the queue at the terminal transition.
+    trace_context: Optional[Dict[str, object]] = None
+    span: Optional[object] = field(default=None, repr=False)
     _done: threading.Event = field(default_factory=threading.Event,
                                    repr=False)
 
@@ -242,6 +248,8 @@ class Job:
             "coalesced": self.coalesced,
             "batch_size": self.batch_size,
             "timeout_s": self.timeout_s,
+            "trace_id": (None if self.trace_context is None
+                         else self.trace_context.get("trace_id")),
             "error": None if self.error is None else str(self.error),
         }
 

@@ -41,6 +41,8 @@ from collections import deque
 from typing import Deque, Dict, List, Optional, Tuple, Union
 
 from repro.api.workload import Workload
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.service.jobs import (
     Job,
     JobTimeoutError,
@@ -170,6 +172,19 @@ class JobQueue:
             job = Job(id=f"job-{sequence}", workload=workload,
                       priority=priority, sequence=sequence, kind=kind,
                       timeout_s=timeout_s, deadline=deadline)
+            if obs_trace.enabled():
+                # one span per server-side job, parented to whatever is
+                # current on the submitting thread — the HTTP handler's
+                # adopted X-Repro-Trace context, or an in-process
+                # caller's span.  Attached under the lock, before the
+                # heap push, so the dispatcher can never pop a job whose
+                # trace context is still missing.  Finished at the
+                # terminal transition.
+                span = obs_trace.start_span("service.job", job_id=job.id,
+                                            kind=kind,
+                                            workload=workload.name)
+                job.span = span
+                job.trace_context = span.context_payload()
             self._jobs[job.id] = job
             self._inflight[(kind, workload)] = job
             heapq.heappush(self._heap, (priority, sequence, job))
@@ -286,6 +301,11 @@ class JobQueue:
             heapq.heappop(self._heap)
             job.state = "running"
             job.started_at = time.time()
+            waited = job.started_at - job.submitted_at
+            obs_metrics.registry().histogram(
+                "repro_service_queue_wait_seconds").observe(waited)
+            if job.span is not None:
+                job.span.set_attribute("queue_wait_s", waited)
             return job
         return None
 
@@ -333,6 +353,15 @@ class JobQueue:
     def _make_terminal(self, job: Job, state: str) -> None:
         job.state = state
         job.finished_at = time.time()
+        if job.span is not None:
+            # single funnel for every terminal transition, so the job span
+            # closes exactly once whether the job finished, failed, timed
+            # out in the queue, or lost its last requester
+            job.span.set_attribute("state", state)
+            if state == "failed" and job.error is not None:
+                job.span.set_error(job.error)
+            job.span.finish()
+            job.span = None
         if self._inflight.get((job.kind, job.workload)) is job:
             del self._inflight[(job.kind, job.workload)]
         self._terminal_order.append(job.id)

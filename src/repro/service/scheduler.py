@@ -30,6 +30,7 @@ from collections import deque
 
 from repro.api.executor import resolve_strategy, validate_max_workers
 from repro.api.session import Session
+from repro.obs import trace as obs_trace
 from repro.service.jobs import Job
 from repro.service.queue import JobQueue
 
@@ -129,7 +130,8 @@ class Scheduler:
             if len(jobs) > 1:
                 self._batched_dispatches += 1
         for job in jobs:
-            self._emit_job_event("job-started", job)
+            with obs_trace.adopt(job.trace_context):
+                self._emit_job_event("job-started", job)
         # Partition by job class: validations run per-job through
         # Session.validate (each is one vectorized simulation — there is no
         # cross-job batching to exploit), explorations keep the
@@ -142,21 +144,31 @@ class Scheduler:
             return
         try:
             if len(jobs) == 1:
-                results = [self._session.run(jobs[0].workload)]
+                with obs_trace.adopt(jobs[0].trace_context):
+                    with obs_trace.span("scheduler.dispatch", jobs=1):
+                        results = [self._session.run(jobs[0].workload)]
             else:
-                results = self._session.run_many(
-                    [job.workload for job in jobs],
-                    max_workers=self._max_workers,
-                    executor=self._strategy)
+                # a multi-job batch dispatches under the *first* job's
+                # trace (one run_many call cannot belong to N traces);
+                # every job still owns its service.job span and events
+                with obs_trace.adopt(jobs[0].trace_context):
+                    with obs_trace.span("scheduler.dispatch",
+                                        jobs=len(jobs)):
+                        results = self._session.run_many(
+                            [job.workload for job in jobs],
+                            max_workers=self._max_workers,
+                            executor=self._strategy)
         except Exception as error:
             if len(jobs) == 1:
                 # nothing to attribute: fail the lone job directly instead
                 # of paying the failed pipeline a second time in a replay
+                context = jobs[0].trace_context
                 self._queue.fail(jobs[0], error)
-                self._emit_job_event(
-                    "job-failed", jobs[0],
-                    elapsed_s=time.perf_counter() - started,
-                    detail=str(error))
+                with obs_trace.adopt(context):
+                    self._emit_job_event(
+                        "job-failed", jobs[0],
+                        elapsed_s=time.perf_counter() - started,
+                        detail=str(error))
                 with self._lock:
                     self._jobs_failed += 1
             else:
@@ -164,9 +176,11 @@ class Scheduler:
             return
         elapsed = time.perf_counter() - started
         for job, result in zip(jobs, results):
+            context = job.trace_context
             self._queue.finish(job, result)
-            self._emit_job_event("job-finished", job,
-                                 elapsed_s=elapsed / len(jobs))
+            with obs_trace.adopt(context):
+                self._emit_job_event("job-finished", job,
+                                     elapsed_s=elapsed / len(jobs))
         with self._lock:
             self._jobs_completed += len(jobs)
 
@@ -174,20 +188,26 @@ class Scheduler:
         """Run one job through ``runner(workload)`` with full accounting."""
         started = time.perf_counter()
         try:
-            result = runner(job.workload)
+            with obs_trace.adopt(job.trace_context):
+                with obs_trace.span("scheduler.dispatch", jobs=1):
+                    result = runner(job.workload)
         except Exception as error:
+            context = job.trace_context
             self._queue.fail(job, error)
-            self._emit_job_event(
-                "job-failed", job,
-                elapsed_s=time.perf_counter() - started,
-                detail=str(error))
+            with obs_trace.adopt(context):
+                self._emit_job_event(
+                    "job-failed", job,
+                    elapsed_s=time.perf_counter() - started,
+                    detail=str(error))
             with self._lock:
                 self._jobs_failed += 1
         else:
+            context = job.trace_context
             self._queue.finish(job, result)
-            self._emit_job_event(
-                "job-finished", job,
-                elapsed_s=time.perf_counter() - started)
+            with obs_trace.adopt(context):
+                self._emit_job_event(
+                    "job-finished", job,
+                    elapsed_s=time.perf_counter() - started)
             with self._lock:
                 self._jobs_completed += 1
 

@@ -12,8 +12,9 @@ over two transports:
 * **HTTP**: the same operations as a minimal stdlib-only JSON endpoint
   (:mod:`http.server`, threaded) via :meth:`serve_http` — ``POST
   /submit``, ``GET /status``, ``GET /result``, ``POST /cancel``, ``GET
-  /stats``, ``GET /healthz``, ``GET /metrics`` (Prometheus text), ``POST
-  /register`` (fleet handshake), ``POST /shutdown``.
+  /stats``, ``GET /healthz``, ``GET /metrics`` (Prometheus text), ``GET
+  /trace`` / ``GET /trace/<id>`` (recorded traces), ``POST /register``
+  (fleet handshake), ``POST /shutdown``.
 
 The queue is optionally bounded (``max_pending``): a saturated server
 *sheds* new work with ``503 + Retry-After`` (:class:`~repro.service.jobs
@@ -52,6 +53,8 @@ from repro.api.store import ArtifactStore
 from repro.api.workload import Workload
 from repro.dse.engine import shared_table_stats
 from repro.dse.stream import stream_stats
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.service.jobs import (
     AdmissionDeniedError,
     JobCancelledError,
@@ -96,6 +99,10 @@ class ReproServer:
         if session is not None and store is not None:
             raise ValueError("pass either a session or a store, not both "
                              "(a session already owns its store)")
+        # servers trace by default (REPRO_OBS=0 opts out): the ring-buffer
+        # TraceStore is bounded, and library use without a server stays on
+        # the zero-cost disabled path
+        obs_trace.auto_enable()
         self._session = session if session is not None else Session(
             store=store)
         if on_event is not None:
@@ -222,6 +229,15 @@ class ReproServer:
             workload = Workload.from_dict(workload)
         job, coalesced = self._queue.submit(workload, priority=priority,
                                             timeout_s=timeout_s, kind=job)
+        if obs_trace.enabled() and coalesced:
+            # the job's own span was attached by the queue at creation;
+            # record the join in the *requester's* trace too — this
+            # submission's work is served by an already-in-flight job
+            if job.span is not None:
+                job.span.set_attribute("coalesced", job.coalesced)
+            with obs_trace.span("service.coalesce", job_id=job.id,
+                                requesters=job.requesters):
+                pass
         self._session._emit_batch_event(
             "job-coalesced" if coalesced else "job-queued",
             workload, detail=job.id)
@@ -318,8 +334,32 @@ class ReproServer:
         }
 
     def metrics_text(self) -> str:
-        """The counters as Prometheus text (``GET /metrics``)."""
-        return render_prometheus(self.stats())
+        """The counters as Prometheus text (``GET /metrics``).
+
+        Walked ``stats()`` leaves (typed counter/gauge by leaf name) plus
+        the typed registry families — queue-wait, stage-latency, and
+        chunk-fold histograms included.
+        """
+        return render_prometheus(self.stats(),
+                                 registry=obs_metrics.registry())
+
+    def trace(self, trace_id: Optional[str] = None) -> Dict[str, Any]:
+        """Recorded traces (``GET /trace``, ``GET /trace/<id>``).
+
+        Without an id: the store's per-trace summaries plus its
+        accounting.  With one: that trace's full span list (JSON-ready;
+        the CLI converts to JSONL or Chrome ``trace_event`` client-side).
+        """
+        store = obs_trace.global_store()
+        if trace_id is None:
+            return {"traces": store.summaries(),
+                    "store": store.stats_snapshot()}
+        spans = store.get(trace_id)
+        if spans is None:
+            raise UnknownJobError(
+                f"unknown trace {trace_id!r} (the trace store is a ring "
+                f"buffer; old traces are evicted)")
+        return {"trace_id": trace_id, "spans": spans}
 
     def register(self, info: Mapping[str, Any]) -> Dict[str, Any]:
         """Fleet registration handshake (``POST /register``).
@@ -422,6 +462,11 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
             elif parsed.path == "/metrics":
                 self._respond_text(200, service.metrics_text(),
                                    METRICS_CONTENT_TYPE)
+            elif parsed.path == "/trace":
+                self._respond(200, service.trace())
+            elif parsed.path.startswith("/trace/"):
+                self._respond(200,
+                              service.trace(parsed.path[len("/trace/"):]))
             elif parsed.path == "/status":
                 self._respond(200, service.status(self._job_id(query)))
             elif parsed.path == "/result":
@@ -473,7 +518,12 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
                     keywords["role"] = body["role"]
                 if "job" in body:
                     keywords["job"] = body["job"]
-                receipt = service.submit(body["workload"], **keywords)
+                # strict parse: a malformed or absent X-Repro-Trace header
+                # degrades to None — a fresh root span — never an error
+                context = obs_trace.parse_header(
+                    self.headers.get(obs_trace.TRACE_HEADER))
+                with obs_trace.adopt(context):
+                    receipt = service.submit(body["workload"], **keywords)
                 self._respond(200, receipt)
             elif parsed.path == "/register":
                 self._respond(200, service.register(body))

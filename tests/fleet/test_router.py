@@ -318,7 +318,8 @@ class TestHttpFleet:
         health = ReproClient(url).healthz()
         assert health["ok"] and health["workers_alive"] == 2
         text = ReproClient(url).metrics()
-        assert "# TYPE repro_fleet_router_routed gauge" in text
+        # routed jobs are a lifetime total: typed counter, not gauge
+        assert "# TYPE repro_fleet_router_routed counter" in text
         assert "repro_fleet_membership_workers_alive 2" in text
         # per-worker queue gauges flatten into the same exposition
         assert "repro_fleet_workers_worker_0_stats_queue_submitted" in text
@@ -327,7 +328,7 @@ class TestHttpFleet:
         fleet, _url, _reference = http_fleet
         worker = fleet.membership.get("worker-0")
         text = worker.client.metrics()
-        assert "# TYPE repro_queue_submitted gauge" in text
+        assert "# TYPE repro_queue_submitted counter" in text
         assert "repro_uptime_s" in text
 
 

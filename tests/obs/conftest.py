@@ -1,0 +1,14 @@
+"""Obs tests mutate process-global recorder state; isolate every test."""
+
+import pytest
+
+from repro.obs import trace
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    trace.disable()
+    trace.global_store().clear()
+    yield
+    trace.disable()
+    trace.global_store().clear()
